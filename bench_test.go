@@ -1,0 +1,200 @@
+package tahoe
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/heap"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+// Experiment benches: each regenerates one of the evaluation's tables or
+// figures (quick instances, so iterations stay cheap). The wall time the
+// benchmark reports is the harness cost of reproducing the artifact; the
+// artifact's own numbers are simulated time and are deterministic.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := e.Run(ExpOptions{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkT1_DeviceTable(b *testing.B)        { benchExperiment(b, "T1") }
+func BenchmarkT2_Calibration(b *testing.B)        { benchExperiment(b, "T2") }
+func BenchmarkE1_BandwidthSlowdown(b *testing.B)  { benchExperiment(b, "E1") }
+func BenchmarkE2_LatencySlowdown(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3_ObjectSensitivity(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4_MainComparisonBW(b *testing.B)   { benchExperiment(b, "E4") }
+func BenchmarkE5_MainComparisonLat(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6_TechniqueAblation(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7_MigrationDetails(b *testing.B)   { benchExperiment(b, "E7") }
+func BenchmarkE8_StrongScaling(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9_DRAMSensitivity(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10_OptaneRW(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11_SchedulerAblation(b *testing.B) { benchExperiment(b, "E11") }
+func BenchmarkE12_LookaheadSweep(b *testing.B)    { benchExperiment(b, "E12") }
+
+// BenchmarkRuntimeFullRun measures the cost of one complete managed run
+// (plan + simulate + migrate) on the standard machine and workload, and
+// reports the simulated makespan as a metric.
+func BenchmarkRuntimeFullRun(b *testing.B) {
+	h := NewHMS(DRAM(), NVMBandwidth(0.5), 128*MB)
+	w, err := BuildWorkload("cholesky", WorkloadParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig(h)
+	b.ResetTimer()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		last, err = Run(w.Graph, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.Time, "sim-s/run")
+	b.ReportMetric(float64(last.Migration.Migrations), "migrations/run")
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkSimEngineContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		r := e.AddResource("dev", 1e9)
+		for f := 0; f < 64; f++ {
+			e.StartFlow(&sim.Flow{Stages: []sim.Stage{
+				{Fixed: 1e-4},
+				{Res: r, Bytes: 1e6, MaxRate: 5e8},
+			}})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkKnapsackDP(b *testing.B) {
+	items := make([]placement.Item, 64)
+	for i := range items {
+		items[i] = placement.Item{
+			Ref:    heap.ChunkRef{Obj: task.ObjectID(i)},
+			Size:   int64((i%7 + 1)) * (8 << 20),
+			Weight: float64(i%13) * 1e-3,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		placement.Knapsack(items, 256<<20, placement.DefaultGranularity)
+	}
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := workloads.Apps()[0].Build(workloads.Params{Scale: 8})
+		if len(g.Graph.Tasks) == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+func BenchmarkExecPoolForkJoin(b *testing.B) {
+	bld := task.NewBuilder("bench")
+	objs := make([]task.ObjectID, 64)
+	for i := range objs {
+		objs[i] = bld.Object("o", 64)
+	}
+	for round := 0; round < 16; round++ {
+		for _, o := range objs {
+			bld.Submit("t", 0, []task.Access{
+				{Obj: o, Mode: task.InOut, Loads: 1, Stores: 1, MLP: 1},
+			}, func() {})
+		}
+	}
+	g := bld.Build()
+	pool := exec.NewPool(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pool.Run(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(g.Tasks)), "tasks/op")
+}
+
+// BenchmarkPolicies compares the harness cost of each policy on one graph.
+func BenchmarkPolicies(b *testing.B) {
+	h := NewHMS(DRAM(), NVMBandwidth(0.5), 128*MB)
+	w, err := BuildWorkload("cg", WorkloadParams{Scale: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []core.Policy{core.NVMOnly, core.XMem, core.PhaseBased, core.Tahoe} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := DefaultConfig(h)
+			cfg.Policy = p
+			var last Result
+			for i := 0; i < b.N; i++ {
+				last, err = Run(w.Graph, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Time, "sim-s/run")
+		})
+	}
+}
+
+func BenchmarkE13_ClusterScaling(b *testing.B) { benchExperiment(b, "E13") }
+func BenchmarkE14_ModelAccuracy(b *testing.B)  { benchExperiment(b, "E14") }
+func BenchmarkE15_Energy(b *testing.B)         { benchExperiment(b, "E15") }
+
+// BenchmarkLockFreeVsMutexPool compares the two executor deques on a
+// steal-heavy graph.
+func BenchmarkLockFreeVsMutexPool(b *testing.B) {
+	bld := task.NewBuilder("steal")
+	objs := make([]task.ObjectID, 256)
+	for i := range objs {
+		objs[i] = bld.Object("o", 64)
+	}
+	for round := 0; round < 8; round++ {
+		for _, o := range objs {
+			bld.Submit("t", 0, []task.Access{
+				{Obj: o, Mode: task.InOut, Loads: 1, Stores: 1, MLP: 1},
+			}, func() {})
+		}
+	}
+	g := bld.Build()
+	b.Run("mutex", func(b *testing.B) {
+		p := exec.NewPool(8)
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lockfree", func(b *testing.B) {
+		p := exec.NewLockFreePool(8)
+		for i := 0; i < b.N; i++ {
+			if err := p.Run(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE16_ChunkGranularity(b *testing.B) { benchExperiment(b, "E16") }

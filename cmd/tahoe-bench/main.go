@@ -1,0 +1,77 @@
+// Command tahoe-bench regenerates the evaluation's tables and figures.
+//
+// Usage:
+//
+//	tahoe-bench            # run every experiment, print tables
+//	tahoe-bench -exp E4    # one experiment
+//	tahoe-bench -csv       # CSV instead of aligned text
+//	tahoe-bench -quick     # reduced instances
+//	tahoe-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tahoe "repro"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID (empty = all)")
+		csv   = flag.Bool("csv", false, "emit CSV")
+		quick = flag.Bool("quick", false, "reduced instances")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range tahoe.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := tahoe.ExpOptions{Quick: *quick}
+	render := func(t *tahoe.Table) error {
+		if *csv {
+			return t.CSV(os.Stdout)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if *exp != "" {
+		e, err := tahoe.ExperimentByID(*exp)
+		if err != nil {
+			fail("%v", err)
+		}
+		t, err := e.Run(opt)
+		if err != nil {
+			fail("%s: %v", e.ID, err)
+		}
+		if err := render(t); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+
+	for _, e := range tahoe.Experiments() {
+		t, err := e.Run(opt)
+		if err != nil {
+			fail("%s: %v", e.ID, err)
+		}
+		if err := render(t); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tahoe-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command tahoe-calibrate computes the performance model's constant
+// factors (CF_bw, CF_lat) and the measured peak bandwidth for a machine,
+// by running the STREAM and pointer-chase calibration workloads — the
+// paper's once-per-platform offline step.
+//
+// Usage:
+//
+//	tahoe-calibrate -nvm bw:0.5
+//	tahoe-calibrate -nvm optane -interval 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tahoe "repro"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	var (
+		nvm      = flag.String("nvm", "bw:0.5", "NVM device: bw:<frac>, lat:<mult>, optane, pcram, sttram, reram")
+		dramMB   = flag.Int64("dram", 128, "DRAM capacity in MB")
+		interval = flag.Int64("interval", 0, "counter sampling interval in accesses (0 = default 1000)")
+	)
+	flag.Parse()
+
+	dev, err := cliutil.ParseNVM(*nvm)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tahoe-calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	h := tahoe.NewHMS(tahoe.DRAM(), dev, *dramMB*tahoe.MB)
+	pc := tahoe.DefaultProfiler()
+	if *interval > 0 {
+		pc.SamplingInterval = *interval
+	}
+	f, err := tahoe.Calibrate(h, pc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tahoe-calibrate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine   DRAM + %s\n", dev.Name)
+	fmt.Printf("sampling  every %d accesses\n", pc.SamplingInterval)
+	fmt.Printf("CF_bw     %.4f\n", f.CFBw)
+	fmt.Printf("CF_lat    %.4f\n", f.CFLat)
+	fmt.Printf("peak BW   %.2f GB/s (STREAM-measured)\n", f.PeakBW/1e9)
+}

@@ -1,0 +1,131 @@
+// Command tahoe runs one benchmark workload under one placement policy on
+// a configurable simulated heterogeneous memory system and reports the
+// result.
+//
+// Usage:
+//
+//	tahoe -workload cholesky -policy tahoe -nvm bw:0.5 -dram 128 -workers 8
+//	tahoe -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tahoe "repro"
+	"repro/internal/cliutil"
+)
+
+var policies = map[string]tahoe.Policy{
+	"dram":       tahoe.DRAMOnly,
+	"nvm":        tahoe.NVMOnly,
+	"firsttouch": tahoe.FirstTouch,
+	"xmem":       tahoe.XMem,
+	"hwcache":    tahoe.HWCache,
+	"phase":      tahoe.PhaseBased,
+	"tahoe":      tahoe.Tahoe,
+}
+
+var schedulers = map[string]tahoe.Scheduler{
+	"worksteal": tahoe.WorkSteal,
+	"fifo":      tahoe.FIFOQueue,
+	"lifo":      tahoe.LIFOQueue,
+	"rank":      tahoe.RankSched,
+}
+
+func main() {
+	var (
+		workload  = flag.String("workload", "cholesky", "workload name (see -list)")
+		policy    = flag.String("policy", "tahoe", "dram|nvm|firsttouch|xmem|hwcache|phase|tahoe")
+		nvm       = flag.String("nvm", "bw:0.5", "NVM device: bw:<frac>, lat:<mult>, optane, pcram, sttram, reram")
+		dramMB    = flag.Int64("dram", 128, "DRAM capacity in MB")
+		workers   = flag.Int("workers", 8, "simulated workers")
+		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
+		scheduler = flag.String("sched", "worksteal", "worksteal|fifo|lifo|rank")
+		lookahead = flag.Int("lookahead", 16, "proactive migration lookahead (tasks)")
+		kernels   = flag.Bool("kernels", false, "execute and verify the real numerical kernels")
+		calibrate = flag.Bool("calibrate", true, "calibrate model constant factors first")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range tahoe.Workloads() {
+			kind := "calibration"
+			if s.App {
+				kind = "application"
+			}
+			fmt.Printf("%-10s %-12s %s\n", s.Name, kind, s.Description)
+		}
+		return
+	}
+
+	p, ok := policies[*policy]
+	if !ok {
+		fail("unknown policy %q", *policy)
+	}
+	sc, ok := schedulers[*scheduler]
+	if !ok {
+		fail("unknown scheduler %q", *scheduler)
+	}
+	dev, err := cliutil.ParseNVM(*nvm)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	h := tahoe.NewHMS(tahoe.DRAM(), dev, *dramMB*tahoe.MB)
+	cfg := tahoe.DefaultConfig(h)
+	cfg.Policy = p
+	cfg.Workers = *workers
+	cfg.Scheduler = sc
+	cfg.Lookahead = *lookahead
+	cfg.RunKernels = *kernels
+	if *calibrate {
+		f, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
+		if err != nil {
+			fail("calibration: %v", err)
+		}
+		cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
+	}
+
+	built, err := tahoe.BuildWorkload(*workload, tahoe.WorkloadParams{Scale: *scale, Kernels: *kernels})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	res, err := tahoe.Run(built.Graph, cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *kernels && built.Check != nil {
+		if err := built.Check(); err != nil {
+			fail("kernel verification: %v", err)
+		}
+		fmt.Println("kernel verification: OK")
+	}
+
+	fmt.Printf("workload    %s (%d tasks, %d objects)\n", res.Workload, res.Tasks, len(built.Graph.Objects))
+	fmt.Printf("machine     DRAM %d MB + %s, %d workers\n", *dramMB, dev.Name, *workers)
+	fmt.Printf("policy      %s (scheduler %s)\n", res.Policy, sc)
+	fmt.Printf("time        %.6f s (simulated)\n", res.Time)
+	fmt.Printf("plan        %s, %d replans\n", orNone(res.PlanKind), res.Replans)
+	fmt.Printf("migrations  %d (%d MB moved, %.1f%% overlapped)\n",
+		res.Migration.Migrations, res.Migration.BytesMoved>>20,
+		res.Migration.OverlapFraction()*100)
+	fmt.Printf("overhead    %.2f%% of makespan (profiling %.4fs, solver %.4fs, sync %.4fs)\n",
+		res.OverheadFraction()*100, res.OverheadProfilingSec, res.OverheadSolverSec, res.OverheadSyncSec)
+	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, *dramMB)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tahoe: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Custom-workload example: build a task graph directly against the public
+// API — a two-stage producer/consumer pipeline with a reduction — execute
+// its real closures in parallel on the work-stealing pool, then run the
+// same graph through the simulated runtime to see what placement would do
+// on an NVM machine. This is the path for adopting the runtime in your
+// own task-parallel code.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	tahoe "repro"
+)
+
+const (
+	stages  = 12
+	buffers = 8
+	bufElem = 1 << 20 // 8 MB per buffer
+)
+
+func main() {
+	b := tahoe.NewGraphBuilder("pipeline")
+
+	// Data objects: a ring of buffers and a results accumulator.
+	bufs := make([]tahoe.ObjectID, buffers)
+	data := make([][]float64, buffers)
+	for i := range bufs {
+		bufs[i] = b.Object(fmt.Sprintf("buf[%d]", i), 8*bufElem)
+		data[i] = make([]float64, bufElem)
+	}
+	acc := b.Object("acc", 64)
+	var total int64
+
+	lines := int64(8 * bufElem / 64)
+	for s := 0; s < stages; s++ {
+		for i := range bufs {
+			i := i
+			// Producer: stream-writes the buffer.
+			b.Submit("produce", 1e-4, []tahoe.Access{
+				{Obj: bufs[i], Mode: tahoe.Out, Stores: lines, MLP: 12},
+			}, func() {
+				for j := range data[i] {
+					data[i][j] = float64(j % 97)
+				}
+			})
+			// Consumer: gathers from it with low memory-level parallelism
+			// (latency-sensitive), folds into the accumulator.
+			b.Submit("consume", 1e-4, []tahoe.Access{
+				{Obj: bufs[i], Mode: tahoe.In, Loads: lines / 8, MLP: 2},
+				{Obj: acc, Mode: tahoe.InOut, Loads: 1, Stores: 1, MLP: 1},
+			}, func() {
+				var s int64
+				for j := 0; j < bufElem; j += 8 {
+					s += int64(data[i][j])
+				}
+				atomic.AddInt64(&total, s)
+			})
+		}
+	}
+	g := b.Build()
+
+	// 1. Real parallel execution on the work-stealing pool.
+	if err := tahoe.Execute(g, 8); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real execution: %d tasks ran, accumulator = %d\n", len(g.Tasks), total)
+
+	// 2. The same graph through the simulated NVM machine.
+	h := tahoe.NewHMS(tahoe.DRAM(), tahoe.PCRAM(), 32*tahoe.MB)
+	f, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []tahoe.Policy{tahoe.DRAMOnly, tahoe.NVMOnly, tahoe.Tahoe} {
+		cfg := tahoe.DefaultConfig(h)
+		cfg.Policy = p
+		cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
+		res, err := tahoe.Run(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %.4f s simulated (%d migrations)\n", p, res.Time, res.Migration.Migrations)
+	}
+	fmt.Println("\nPCRAM writes are 10x slower than reads: the runtime keeps the")
+	fmt.Println("write-heavy producer buffers in DRAM and streams reads from NVM")
+}

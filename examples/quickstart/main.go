@@ -1,0 +1,56 @@
+// Quickstart: build a machine, pick a workload, run it under the full
+// runtime and under the two bounds, and print the gap the runtime
+// recovers. This is the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tahoe "repro"
+)
+
+func main() {
+	// A heterogeneous memory system: 128 MB of DRAM in front of a large
+	// NVM with half of DRAM's bandwidth (an emulated-NVM configuration).
+	h := tahoe.NewHMS(tahoe.DRAM(), tahoe.NVMBandwidth(0.5), 128*tahoe.MB)
+
+	// Calibrate the performance model's constant factors once for this
+	// machine (the paper's offline STREAM / pointer-chase step).
+	factors, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tiled Cholesky factorization: ~820 tasks over 78 tiles.
+	w, err := tahoe.BuildWorkload("cholesky", tahoe.WorkloadParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(p tahoe.Policy) tahoe.Result {
+		cfg := tahoe.DefaultConfig(h)
+		cfg.Policy = p
+		cfg.CFBw, cfg.CFLat = factors.CFBw, factors.CFLat
+		res, err := tahoe.Run(w.Graph, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	dram := run(tahoe.DRAMOnly)
+	nvm := run(tahoe.NVMOnly)
+	managed := run(tahoe.Tahoe)
+
+	fmt.Printf("DRAM-only   %.4f s  (upper bound)\n", dram.Time)
+	fmt.Printf("NVM-only    %.4f s  (%.2fx slower)\n", nvm.Time, nvm.Time/dram.Time)
+	fmt.Printf("Tahoe       %.4f s  (%.2fx; %d migrations, %.0f%% overlapped, %.1f%% runtime cost)\n",
+		managed.Time, managed.Time/dram.Time,
+		managed.Migration.Migrations,
+		managed.Migration.OverlapFraction()*100,
+		managed.OverheadFraction()*100)
+	gap := nvm.Time - dram.Time
+	fmt.Printf("\nThe runtime recovered %.0f%% of the NVM/DRAM gap.\n",
+		(nvm.Time-managed.Time)/gap*100)
+}

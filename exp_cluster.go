@@ -1,0 +1,155 @@
+package tahoe
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/model"
+	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{"E13", "Multi-node strong scaling (CG on 1..16 nodes, 128 MB DRAM each)", expE13})
+	registerExperiment(Experiment{"E14", "Model prediction accuracy (benefit model vs simulator ground truth)", expE14})
+}
+
+// expE13 reproduces the Edison strong-scaling study: a fixed global CG
+// problem over 1..16 nodes, one rank per node with 256 MB of DRAM in
+// front of half-bandwidth NVM, halo exchanges between iterations. As the
+// per-rank partition shrinks relative to the fixed DRAM, the managed
+// runtime converges to the DRAM-only bound while NVM-only keeps its gap.
+func expE13(opt ExpOptions) (*Table, error) {
+	t := report.New("E13", "CG strong scaling across nodes (normalized per node count)",
+		"Nodes", "DRAM-only", "Tahoe", "NVM-only", "DRAM-only job (s)", "comm share")
+	d, err := workloads.DistributedByName("cg")
+	if err != nil {
+		return nil, err
+	}
+	p := workloads.Params{}
+	if opt.Quick {
+		p.Scale = 6
+	}
+	counts := []int{1, 2, 4, 8, 16}
+	if opt.Quick {
+		counts = []int{1, 4}
+	}
+	const nodeDRAM = 128 * mem.MB
+	nvm := mem.NVMBandwidth(0.5)
+	for _, nodes := range counts {
+		run := func(pol core.Policy) cluster.Result {
+			rc := expConfig(mem.NewHMS(mem.DRAM(), nvm, nodeDRAM), pol)
+			rc.Workers = 4
+			res, err := cluster.StrongScale(d, p, cluster.Config{
+				Nodes:        nodes,
+				RanksPerNode: 1,
+				NodeDRAM:     nodeDRAM,
+				NVM:          nvm,
+				Net:          cluster.EdisonNetwork(),
+				Rank:         rc,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("tahoe: E13: %v", err))
+			}
+			return res
+		}
+		base := run(core.DRAMOnly)
+		t.AddRow(report.Int(nodes), "1.00",
+			report.Norm(run(core.Tahoe).JobSec, base.JobSec),
+			report.Norm(run(core.NVMOnly).JobSec, base.JobSec),
+			report.Sec(base.JobSec),
+			report.Pct(base.CommSec/base.JobSec))
+	}
+	t.Note("fixed global problem; ranks on a node ration DRAM through the user-level space service")
+	return t, nil
+}
+
+// expE14 validates the runtime's models against the simulator's ground
+// truth: for each (kind, object) of each workload, compare the profiled
+// benefit prediction (equations 4/5 with calibrated constant factors)
+// against the true NVM-vs-DRAM time difference from the demand model,
+// and report the median and worst relative error. The calibrated model
+// is what placement quality rests on; this is the experiment that says
+// how much to trust it.
+func expE14(opt ExpOptions) (*Table, error) {
+	t := report.New("E14", "Benefit-model accuracy per workload",
+		"Workload", "Pairs", "Median err", "P90 err", "Worst err")
+	h := hmsBW(0.5)
+	for _, s := range expApps(opt) {
+		g := buildApp(s, opt)
+		med, p90, worst, n := modelAccuracy(g, h)
+		if n == 0 {
+			continue
+		}
+		t.AddRow(s.Name, report.Int(n), report.Pct(med), report.Pct(p90), report.Pct(worst))
+	}
+	t.Note("error = |predicted - true| / true benefit per execution, over pairs with benefit > 1 µs; " +
+		"the calibrated constant factors absorb the sampling undercount")
+	return t, nil
+}
+
+// modelAccuracy computes per-pair relative errors of the benefit model.
+func modelAccuracy(g *Graph, h mem.HMS) (med, p90, worst float64, n int) {
+	f := factorsFor(h)
+	params := model.Params{HMS: h, CFBw: f.CFBw, CFLat: f.CFLat, DistinguishRW: true}
+	pc := prof.DefaultConfig()
+	type pair struct {
+		kind string
+		obj  int
+	}
+	seen := map[pair]bool{}
+	allNVM := func(task.ObjectID) float64 { return 0 }
+	var errs []float64
+	for _, t := range g.Tasks {
+		for _, a := range t.Accesses {
+			k := pair{t.Kind, int(a.Obj)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			obj := a.Obj
+			dNVM := model.TaskDemand(t, h, allNVM)
+			dDRAM := model.TaskDemand(t, h, func(o task.ObjectID) float64 {
+				if o == obj {
+					return 1
+				}
+				return 0
+			})
+			truth := dNVM.TotalSec() - dDRAM.TotalSec()
+			// Control objects (scalars, flags) have nanosecond benefits;
+			// their relative error is meaningless and their placement
+			// irrelevant. Only capacity-relevant pairs count.
+			if truth <= 1e-6 {
+				continue
+			}
+			key := uint64(t.ID)<<20 ^ uint64(a.Obj)
+			loads := float64(pc.Sample(a.Loads, key))
+			stores := float64(pc.Sample(a.Stores, key+1))
+			// Equation (1): bandwidth consumption from the object's true
+			// occupancy within the task.
+			bwCons := 0.0
+			if occ := dNVM.ObjSec[obj]; occ > 0 {
+				bwCons = (loads + stores) * 64 / occ
+			}
+			pred := params.BenefitProfiled(loads, stores, bwCons)
+			e := pred - truth
+			if e < 0 {
+				e = -e
+			}
+			errs = append(errs, e/truth)
+		}
+	}
+	if len(errs) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(errs)
+	med = errs[len(errs)/2]
+	p90 = errs[(len(errs)*9)/10]
+	worst = errs[len(errs)-1]
+	return med, p90, worst, len(errs)
+}

@@ -1,0 +1,50 @@
+package tahoe
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+func init() {
+	registerExperiment(Experiment{"E15", "Memory-system energy and energy-delay product (STT-RAM-class NVM)", expE15})
+}
+
+// expE15 quantifies NVM's founding motivation: a DRAM-only machine
+// installs refresh-hungry DRAM for the whole footprint, while the HMS
+// installs a sliver of DRAM plus near-zero-standby NVM — so even when
+// the HMS is slower, it can win on energy, and a good placement policy
+// wins on the energy-delay product too. STT-RAM-class NVM (the
+// NVMDB/ITRS projection) is the device the HMS energy argument is
+// usually made with.
+func expE15(opt ExpOptions) (*Table, error) {
+	t := report.New("E15", "Energy (J), normalized to DRAM-only, and EDP",
+		"Workload", "DRAM-only (J)", "NVM-only", "X-Mem", "Tahoe", "Tahoe static share", "EDP vs DRAM-only")
+	h := mem.NewHMS(mem.DRAM(), mem.STTRAM(), expDRAM)
+	for _, s := range expApps(opt) {
+		g := buildApp(s, opt)
+		run := func(p core.Policy) core.Result {
+			cfg := expConfig(h, p)
+			cfg.Workers = 4
+			return mustRun(g, cfg)
+		}
+		dram := run(core.DRAMOnly)
+		nvm := run(core.NVMOnly)
+		xmem := run(core.XMem)
+		tahoe := run(core.Tahoe)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.3f", dram.EnergyJ),
+			report.Norm(nvm.EnergyJ, dram.EnergyJ),
+			report.Norm(xmem.EnergyJ, dram.EnergyJ),
+			report.Norm(tahoe.EnergyJ, dram.EnergyJ),
+			report.Pct(tahoe.EnergyStaticJ/tahoe.EnergyJ),
+			report.Norm(tahoe.EDP(), dram.EDP()))
+	}
+	t.Note("energy = dynamic access energy + installed-capacity static power x makespan; "+
+		"both machines install the same capacity (>=1 GiB): all-DRAM vs %d MB DRAM + STT-RAM; "+
+		"memory-intensive workloads are dynamic-energy-dominated (NVM costs more per byte), "+
+		"compute-bound ones are static-dominated (NVM wins on refresh)", expDRAM>>20)
+	return t, nil
+}

@@ -1,0 +1,107 @@
+package tahoe
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+func init() {
+	registerExperiment(Experiment{"E4", "Main comparison under bandwidth-limited NVM (1/2 DRAM BW)", expE4})
+	registerExperiment(Experiment{"E5", "Main comparison under latency-limited NVM (4x DRAM latency)", expE5})
+	registerExperiment(Experiment{"E6", "Technique contribution breakdown (ablation)", expE6})
+	registerExperiment(Experiment{"E7", "Migration details under Tahoe (1/2 DRAM BW)", expE7})
+}
+
+// mainComparison runs the headline policy comparison on one machine.
+func mainComparison(id, title string, h HMS, opt ExpOptions) (*Table, error) {
+	t := report.New(id, title,
+		"Workload", "DRAM-only", "NVM-only", "HW-Cache", "FirstTouch", "X-Mem", "PhaseBased", "Tahoe")
+	policies := []core.Policy{core.NVMOnly, core.HWCache, core.FirstTouch, core.XMem, core.PhaseBased, core.Tahoe}
+	for _, s := range expApps(opt) {
+		g := buildApp(s, opt)
+		run := func(p core.Policy) float64 {
+			cfg := expConfig(h, p)
+			cfg.Workers = 1 // one rank per memory domain, the paper's setup
+			return mustRun(g, cfg).Time
+		}
+		base := run(core.DRAMOnly)
+		row := []string{s.Name, "1.00"}
+		for _, p := range policies {
+			row = append(row, report.Norm(run(p), base))
+		}
+		t.AddRow(row...)
+	}
+	t.Note("normalized to DRAM-only; DRAM=%d MB, 1 worker per memory domain; expected: Tahoe within ~10%% of DRAM-only, ahead of X-Mem on shifting workloads", expDRAM>>20)
+	return t, nil
+}
+
+func expE4(opt ExpOptions) (*Table, error) {
+	return mainComparison("E4", "Policy comparison, NVM = 1/2 DRAM bandwidth", hmsBW(0.5), opt)
+}
+
+func expE5(opt ExpOptions) (*Table, error) {
+	return mainComparison("E5", "Policy comparison, NVM = 4x DRAM latency", hmsLat(4), opt)
+}
+
+// expE6 reproduces the technique-contribution breakdown: enable the four
+// optimizations cumulatively and attribute the improvement over NVM-only
+// to each, as percentages of the total improvement of the full system.
+func expE6(opt ExpOptions) (*Table, error) {
+	t := report.New("E6", "Contribution of each technique to the NVM-only -> Tahoe improvement",
+		"Workload", "GlobalSearch", "+LocalSearch", "+Chunking", "+InitialPlacement", "total speedup")
+	h := hmsBW(0.5)
+	variants := []Techniques{
+		{GlobalSearch: true, Proactive: true, DistinguishRW: true},
+		{GlobalSearch: true, LocalSearch: true, Proactive: true, DistinguishRW: true},
+		{GlobalSearch: true, LocalSearch: true, Chunking: true, Proactive: true, DistinguishRW: true},
+		{GlobalSearch: true, LocalSearch: true, Chunking: true, InitialPlacement: true, Proactive: true, DistinguishRW: true},
+	}
+	for _, s := range expApps(opt) {
+		g := buildApp(s, opt)
+		nvm := mustRun(g, expConfig(h, core.NVMOnly)).Time
+		times := make([]float64, len(variants))
+		for i, tech := range variants {
+			cfg := expConfig(h, core.Tahoe)
+			cfg.Tech = tech
+			times[i] = mustRun(g, cfg).Time
+		}
+		full := times[len(times)-1]
+		total := nvm - full
+		row := []string{s.Name}
+		prev := nvm
+		for _, ti := range times {
+			contrib := 0.0
+			if total > 1e-12 {
+				contrib = (prev - ti) / total
+			}
+			row = append(row, report.Pct(contrib))
+			prev = ti
+		}
+		row = append(row, report.Norm(nvm, full)+"x")
+		t.AddRow(row...)
+	}
+	t.Note("each column: share of the total improvement gained when the technique is added; negative shares mean the step cost time on that workload")
+	return t, nil
+}
+
+// expE7 reproduces the migration-details table: counts, bytes, pure
+// runtime cost and the fraction of copy time hidden under execution.
+func expE7(opt ExpOptions) (*Table, error) {
+	t := report.New("E7", "Migration details, Tahoe on 1/2-bandwidth NVM",
+		"Workload", "Migrations", "Moved (MB)", "Runtime cost", "Overlap", "Mem busy", "Replans", "Plan")
+	h := hmsBW(0.5)
+	for _, s := range expApps(opt) {
+		g := buildApp(s, opt)
+		r := mustRun(g, expConfig(h, core.Tahoe))
+		t.AddRow(s.Name,
+			report.Int(r.Migration.Migrations),
+			report.MB(r.Migration.BytesMoved),
+			report.Pct(r.OverheadFraction()),
+			report.Pct(r.Migration.OverlapFraction()),
+			report.Pct(r.MemBusyFrac),
+			report.Int(r.Replans),
+			r.PlanKind)
+	}
+	t.Note("runtime cost = profiling + solver + helper-queue synchronization, as a share of makespan")
+	return t, nil
+}

@@ -1,0 +1,175 @@
+package tahoe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/prof"
+	"repro/internal/workloads"
+)
+
+// ExpOptions tunes an experiment run.
+type ExpOptions struct {
+	// Quick runs a reduced instance (fewer workloads, smaller scales);
+	// used by the benchmark harness to keep iterations cheap.
+	Quick bool
+}
+
+// Experiment regenerates one table or figure of the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(opt ExpOptions) (*Table, error)
+}
+
+var experimentRegistry []Experiment
+
+func registerExperiment(e Experiment) { experimentRegistry = append(experimentRegistry, e) }
+
+// Experiments lists every regenerable table/figure, in ID order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), experimentRegistry...)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].ID) != len(out[j].ID) {
+			return len(out[i].ID) < len(out[j].ID)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range experimentRegistry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("tahoe: unknown experiment %q", id)
+}
+
+// RunAllExperiments renders every experiment to w.
+func RunAllExperiments(w io.Writer, opt ExpOptions) error {
+	for _, e := range Experiments() {
+		t, err := e.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment-wide machine defaults: 128 MB DRAM (the paper's mid
+// sensitivity point) in front of a large NVM.
+const expDRAM = 128 * mem.MB
+
+func hmsBW(frac float64) mem.HMS { return mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(frac), expDRAM) }
+func hmsLat(mult float64) mem.HMS {
+	return mem.NewHMS(mem.DRAM(), mem.NVMLatency(mult), expDRAM)
+}
+func hmsOptane() mem.HMS { return mem.NewHMS(mem.DRAM(), mem.OptanePM(), expDRAM) }
+
+// calibCache memoizes the per-machine constant factors.
+var (
+	calibMu    sync.Mutex
+	calibCache = map[string]calib.Factors{}
+)
+
+func factorsFor(h mem.HMS) calib.Factors {
+	key := fmt.Sprintf("%s|%s|%g|%g", h.DRAM.Name, h.NVM.Name, h.NVM.ReadBW, h.NVM.ReadLatNS)
+	calibMu.Lock()
+	defer calibMu.Unlock()
+	if f, ok := calibCache[key]; ok {
+		return f
+	}
+	f, err := calib.Calibrate(h, prof.DefaultConfig())
+	if err != nil {
+		f = calib.Factors{CFBw: 1, CFLat: 1}
+	}
+	calibCache[key] = f
+	return f
+}
+
+// expConfig is the standard calibrated configuration for a machine.
+func expConfig(h mem.HMS, p core.Policy) core.Config {
+	cfg := core.DefaultConfig(h)
+	cfg.Policy = p
+	f := factorsFor(h)
+	cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
+	return cfg
+}
+
+// expApps selects the application workloads for an experiment.
+func expApps(opt ExpOptions) []workloads.Spec {
+	apps := workloads.Apps()
+	if !opt.Quick {
+		return apps
+	}
+	var out []workloads.Spec
+	for _, s := range apps {
+		switch s.Name {
+		case "cholesky", "heat", "cg", "wave":
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// buildApp constructs one experiment instance of a workload.
+func buildApp(s workloads.Spec, opt ExpOptions) *Graph {
+	p := workloads.Params{}
+	if opt.Quick {
+		p.Scale = quickScale(s.Name)
+	}
+	return s.Build(p).Graph
+}
+
+// quickScale shrinks each workload for benchmark iterations.
+func quickScale(name string) int {
+	switch name {
+	case "cholesky", "lu":
+		return 6
+	case "sparselu":
+		return 8
+	case "heat", "cg", "wave":
+		return 6
+	case "pagerank", "kmeans":
+		return 4
+	case "strassen":
+		return 1
+	case "bfs":
+		return 5
+	case "qr":
+		return 5
+	case "fft":
+		return 20
+	case "sort":
+		return 20
+	case "stream":
+		return 3
+	case "pchase":
+		return 16
+	}
+	return 0
+}
+
+// mustRun executes one configuration, panicking on configuration errors
+// (experiment definitions are code, not input).
+func mustRun(g *Graph, cfg core.Config) core.Result {
+	res, err := core.Run(g, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("tahoe: experiment run failed: %v", err))
+	}
+	return res
+}

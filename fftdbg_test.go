@@ -1,0 +1,24 @@
+package tahoe
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDbgFFTOptane(t *testing.T) {
+	h := hmsOptane()
+	w, _ := BuildWorkload("fft", WorkloadParams{})
+	for _, rw := range []bool{true, false} {
+		cfg := expConfig(h, core.Tahoe)
+		cfg.Tech.DistinguishRW = rw
+		res, err := core.Run(w.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("rw=%v time=%.4f plan=%s mig=%d bytes=%dMB overlap=%.2f replans=%d\n",
+			rw, res.Time, res.PlanKind, res.Migration.Migrations, res.Migration.BytesMoved>>20,
+			res.Migration.OverlapFraction(), res.Replans)
+	}
+}

@@ -1,0 +1,127 @@
+// Package cluster simulates multi-node strong-scaling runs — the paper's
+// Edison experiments. The fixed global problem is decomposed across
+// ranks; every rank is one runtime instance on its node's heterogeneous
+// memory; ranks sharing a node ration the node's DRAM allowance through
+// the user-level space service (package heap); and the per-iteration halo
+// exchanges cost a latency-plus-bandwidth network term. Each rank's
+// execution is an independent deterministic simulation, so a whole
+// "cluster" runs on one laptop core in milliseconds.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// Network is the interconnect's first-order cost model.
+type Network struct {
+	// LatencySec is the per-message cost (software + wire).
+	LatencySec float64
+	// Bandwidth is the per-link bandwidth in bytes/second.
+	Bandwidth float64
+}
+
+// EdisonNetwork approximates a Cray Aries-class interconnect.
+func EdisonNetwork() Network {
+	return Network{LatencySec: 2e-6, Bandwidth: 8e9}
+}
+
+// Config describes one strong-scaling job.
+type Config struct {
+	Nodes        int
+	RanksPerNode int
+	// NodeDRAM is each node's DRAM allowance, rationed among its ranks by
+	// the space service.
+	NodeDRAM int64
+	// NVM is the node's NVM device (capacity is effectively unbounded).
+	NVM mem.DeviceSpec
+	// Net is the interconnect model.
+	Net Network
+	// Rank configures each rank's runtime; its HMS is overwritten with
+	// the rank's share of the node resources.
+	Rank core.Config
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.RanksPerNode < 1 {
+		return fmt.Errorf("cluster: %d nodes x %d ranks", c.Nodes, c.RanksPerNode)
+	}
+	if c.NodeDRAM < 0 {
+		return fmt.Errorf("cluster: negative node DRAM")
+	}
+	if c.Net.Bandwidth <= 0 || c.Net.LatencySec < 0 {
+		return fmt.Errorf("cluster: bad network %+v", c.Net)
+	}
+	return nil
+}
+
+// Result is one job's outcome.
+type Result struct {
+	// JobSec is the job completion time: the slowest rank plus the
+	// communication the iterative structure cannot hide.
+	JobSec float64
+	// ComputeSec is the slowest rank's simulated time.
+	ComputeSec float64
+	// CommSec is the total per-rank communication time.
+	CommSec float64
+	// PerRank holds every rank's runtime result.
+	PerRank []core.Result
+}
+
+// StrongScale runs the distributed workload at the configured scale.
+func StrongScale(d workloads.Distributed, p workloads.Params, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	ranks := cfg.Nodes * cfg.RanksPerNode
+
+	var res Result
+	for node := 0; node < cfg.Nodes; node++ {
+		// The node's DRAM space service: each rank reserves its share up
+		// front, exactly how the paper coordinates ranks without OS help.
+		svc := heap.NewService(cfg.NodeDRAM)
+		share := cfg.NodeDRAM / int64(cfg.RanksPerNode)
+		for r := 0; r < cfg.RanksPerNode; r++ {
+			rank := node*cfg.RanksPerNode + r
+			client := fmt.Sprintf("rank%d", rank)
+			if share > 0 {
+				if err := svc.Reserve(client, share); err != nil {
+					return Result{}, fmt.Errorf("cluster: %w", err)
+				}
+			}
+
+			built := d.BuildRank(rank, ranks, p)
+			rc := cfg.Rank
+			rc.HMS = mem.NewHMS(mem.DRAM(), cfg.NVM, share)
+			rr, err := core.Run(built.Graph, rc)
+			if err != nil {
+				return Result{}, fmt.Errorf("cluster: rank %d: %w", rank, err)
+			}
+			res.PerRank = append(res.PerRank, rr)
+			if rr.Time > res.ComputeSec {
+				res.ComputeSec = rr.Time
+			}
+			if share > 0 {
+				if err := svc.Release(client, share); err != nil {
+					return Result{}, fmt.Errorf("cluster: %w", err)
+				}
+			}
+		}
+		if svc.InUse() != 0 {
+			return Result{}, fmt.Errorf("cluster: node %d leaked %d bytes of DRAM allowance", node, svc.InUse())
+		}
+	}
+
+	iters := d.Iterations(p)
+	bytes := d.CommBytesPerIter(ranks, p)
+	if ranks > 1 {
+		res.CommSec = float64(iters) * (cfg.Net.LatencySec + float64(bytes)/cfg.Net.Bandwidth)
+	}
+	res.JobSec = res.ComputeSec + res.CommSec
+	return res, nil
+}

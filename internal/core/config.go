@@ -1,0 +1,233 @@
+// Package core implements the runtime data manager for task-parallel
+// programs on NVM-based heterogeneous memory — the paper's contribution.
+//
+// The runtime executes a task graph on a simulated HMS machine and,
+// depending on the policy, profiles the first executions of each task
+// kind with sampled hardware counters, models the benefit and cost of
+// moving each data object (or chunk) into DRAM, solves the resulting 0-1
+// knapsack at global (whole-graph) and local (task-by-task) granularity,
+// and enforces the chosen plan with a helper thread that proactively
+// migrates data as soon as the task graph makes it dependence-safe —
+// hiding copy time under task execution.
+//
+// The baseline policies (DRAM-only, NVM-only, first-touch, offline-
+// profiled static placement, hardware caching, and phase-based planning)
+// run through the same machinery with the corresponding steps disabled,
+// so every comparison in the experiments is apples-to-apples.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prof"
+	"repro/internal/trace"
+)
+
+// Policy selects the data-placement strategy of a run.
+type Policy int
+
+const (
+	// NVMOnly keeps all data in NVM: the lower bound.
+	NVMOnly Policy = iota
+	// DRAMOnly keeps all data in DRAM with unbounded capacity: the upper
+	// bound every experiment normalizes against.
+	DRAMOnly
+	// FirstTouch fills DRAM with objects in first-use order, never moves.
+	FirstTouch
+	// XMem is the offline-profiling baseline: it knows the whole graph's
+	// aggregate per-object traffic exactly (an oracle a real offline
+	// profiler approximates), places once by knapsack at startup, never
+	// migrates, and does not distinguish reads from writes.
+	XMem
+	// HWCache models Optane's Memory Mode: DRAM acts as a direct-mapped
+	// cache in front of NVM, invisible to software.
+	HWCache
+	// PhaseBased is the Unimem-style comparator: it plans per topological
+	// level of the graph ("phase") with the same models as Tahoe, but
+	// migrates reactively at phase boundaries, without the task graph's
+	// lookahead.
+	PhaseBased
+	// Tahoe is the full system under study.
+	Tahoe
+	// Pinned places exactly the objects selected by Config.Pin in DRAM at
+	// startup (free of charge) and never migrates: the per-object
+	// placement-sensitivity experiment's instrument.
+	Pinned
+)
+
+// String names the policy as experiments report it.
+func (p Policy) String() string {
+	switch p {
+	case NVMOnly:
+		return "NVM-only"
+	case DRAMOnly:
+		return "DRAM-only"
+	case FirstTouch:
+		return "FirstTouch"
+	case XMem:
+		return "X-Mem"
+	case HWCache:
+		return "HW-Cache"
+	case PhaseBased:
+		return "PhaseBased"
+	case Tahoe:
+		return "Tahoe"
+	case Pinned:
+		return "Pinned"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Scheduler selects the ready-queue discipline.
+type Scheduler int
+
+const (
+	// WorkSteal is the default: per-worker deques with stealing.
+	WorkSteal Scheduler = iota
+	// FIFOQueue is a centralized breadth-first queue.
+	FIFOQueue
+	// LIFOQueue is a centralized depth-first queue.
+	LIFOQueue
+	// RankSched dispatches by HEFT-style upward rank.
+	RankSched
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case WorkSteal:
+		return "worksteal"
+	case FIFOQueue:
+		return "fifo"
+	case LIFOQueue:
+		return "lifo"
+	case RankSched:
+		return "rank"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// Techniques are the individually ablatable pieces of the full system —
+// the contribution-breakdown experiment toggles these one by one.
+type Techniques struct {
+	// GlobalSearch considers one whole-graph placement.
+	GlobalSearch bool
+	// LocalSearch considers per-task placements with migrations between.
+	LocalSearch bool
+	// Chunking partitions large regular objects for fine-grained moves.
+	Chunking bool
+	// InitialPlacement seeds DRAM from the static (compiler-analysis
+	// style) reference-count estimate before execution starts.
+	InitialPlacement bool
+	// Proactive migrates ahead of need using task-graph lookahead; when
+	// false, migrations happen reactively at dispatch and their copy time
+	// is exposed.
+	Proactive bool
+	// DistinguishRW models loads and stores separately (equations 4/5
+	// instead of 2/3).
+	DistinguishRW bool
+}
+
+// AllTechniques enables the full system.
+func AllTechniques() Techniques {
+	return Techniques{
+		GlobalSearch:     true,
+		LocalSearch:      true,
+		Chunking:         true,
+		InitialPlacement: true,
+		Proactive:        true,
+		DistinguishRW:    true,
+	}
+}
+
+// Overheads are the runtime's own costs, charged into the simulated
+// makespan so the "pure runtime cost" accounting is honest.
+type Overheads struct {
+	// ProfilingFrac inflates a task's time while its kind is being
+	// profiled (counter multiplexing and sampling interrupts).
+	ProfilingFrac float64
+	// PlanPerItemSec is the placement solver's cost per candidate item.
+	PlanPerItemSec float64
+	// SyncPerRequestSec is the main-thread cost of queueing or checking
+	// one helper-thread request.
+	SyncPerRequestSec float64
+}
+
+// DefaultOverheads matches the magnitudes the paper reports (sub-3%
+// total runtime cost).
+func DefaultOverheads() Overheads {
+	return Overheads{
+		ProfilingFrac:     0.02,
+		PlanPerItemSec:    20e-6,
+		SyncPerRequestSec: 2e-6,
+	}
+}
+
+// Config describes one run.
+type Config struct {
+	HMS       mem.HMS
+	Workers   int
+	Policy    Policy
+	Scheduler Scheduler
+	Tech      Techniques
+	Prof      prof.Config
+	Overheads Overheads
+
+	// Lookahead is how many upcoming tasks (in submission order) the
+	// proactive migration scan covers.
+	Lookahead int
+	// ChunkTarget is the preferred chunk size for partitioned objects;
+	// 0 derives DRAMCapacity/8.
+	ChunkTarget int64
+	// MaxChunks bounds the partitioning of one object.
+	MaxChunks int
+	// CFBw and CFLat are the calibrated constant factors (1 if zero).
+	CFBw, CFLat float64
+	// RunKernels executes each task's real kernel during the simulation
+	// (slower; used by correctness tests and examples).
+	RunKernels bool
+	// PageSize is the HWCache policy's cache-block granularity.
+	PageSize int64
+	// Pin selects the objects (by name) the Pinned policy places in DRAM.
+	Pin func(objName string) bool
+	// Trace, if non-nil, records the run's task, migration and planning
+	// events for offline analysis.
+	Trace *trace.Trace
+}
+
+// DefaultConfig returns a full-system configuration on the given machine.
+func DefaultConfig(h mem.HMS) Config {
+	return Config{
+		HMS:       h,
+		Workers:   8,
+		Policy:    Tahoe,
+		Scheduler: WorkSteal,
+		Tech:      AllTechniques(),
+		Prof:      prof.DefaultConfig(),
+		Overheads: DefaultOverheads(),
+		Lookahead: 16,
+		MaxChunks: 16,
+		PageSize:  4096,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.HMS.Validate(); err != nil {
+		return err
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: %d workers", c.Workers)
+	}
+	if c.Lookahead < 0 {
+		return fmt.Errorf("core: negative lookahead")
+	}
+	if c.Policy == Tahoe && !c.Tech.GlobalSearch && !c.Tech.LocalSearch {
+		return fmt.Errorf("core: Tahoe needs at least one of global/local search")
+	}
+	if c.Policy == Pinned && c.Pin == nil {
+		return fmt.Errorf("core: Pinned policy needs a Pin selector")
+	}
+	return nil
+}

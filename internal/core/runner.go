@@ -1,0 +1,1096 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/migrate"
+	"repro/internal/model"
+	"repro/internal/prof"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// Result summarizes one simulated run.
+type Result struct {
+	Workload string
+	Policy   string
+	// Time is the simulated makespan in seconds.
+	Time float64
+	// Tasks is the number of tasks executed.
+	Tasks int
+	// Migration aggregates helper-thread activity.
+	Migration migrate.Stats
+	// RuntimeOverheadSec is the runtime's own cost (profiling inflation,
+	// solver time, queue synchronization) included in Time.
+	RuntimeOverheadSec float64
+	// OverheadProfilingSec, OverheadSolverSec and OverheadSyncSec break
+	// RuntimeOverheadSec down by source.
+	OverheadProfilingSec float64
+	OverheadSolverSec    float64
+	OverheadSyncSec      float64
+	// PlanKind records which search won: "", "global", "local", "phase",
+	// or "static".
+	PlanKind string
+	// Replans counts workload-variation re-planning events.
+	Replans int
+	// DRAMHighWaterBytes is the peak application DRAM residency.
+	DRAMHighWaterBytes int64
+	// EnergyJ is total memory-system energy: dynamic access energy plus
+	// installed-capacity static power over the makespan. DRAM-only
+	// machines install DRAM for the whole footprint; HMS machines install
+	// the small DRAM plus NVM for the footprint — the power trade NVM
+	// main memory exists for.
+	EnergyJ float64
+	// EnergyDynamicJ and EnergyStaticJ break EnergyJ down.
+	EnergyDynamicJ float64
+	EnergyStaticJ  float64
+	// MemBusyFrac is the fraction of the makespan with memory-system
+	// service in progress; CopyBusyFrac likewise for the migration
+	// channel.
+	MemBusyFrac  float64
+	CopyBusyFrac float64
+}
+
+// EDP returns the energy-delay product in joule-seconds.
+func (r Result) EDP() float64 { return r.EnergyJ * r.Time }
+
+// OverheadFraction is RuntimeOverheadSec relative to Time.
+func (r Result) OverheadFraction() float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return r.RuntimeOverheadSec / r.Time
+}
+
+// testHook, when set by tests, inspects the runner's final state.
+var testHook func(*runner)
+
+// blockedTask is a ready task waiting for in-flight migrations.
+type blockedTask struct {
+	t       *task.Task
+	worker  int // worker that readied it (for deque affinity)
+	blocked float64
+}
+
+// runner holds the state of one simulated run.
+type runner struct {
+	cfg Config
+	g   *task.Graph
+
+	e      *sim.Engine
+	memRes *sim.Resource
+	st     *heap.State
+	mig    *migrate.Engine
+
+	profiler *prof.Profiler
+	params   model.Params
+
+	queue       sched.Queue
+	freeWorkers []int
+	remaining   []int // unmet dependence count per task
+	started     []bool
+	finished    []bool
+	levels      []int
+
+	// userDone tracks, per object, a cursor into Users(obj): every user
+	// before the cursor has finished. Dependence-safe migration for task
+	// t requires the cursor to have passed all users < t.
+	userCursor map[task.ObjectID]int
+	// inUse counts running tasks touching each object.
+	inUse map[task.ObjectID]int
+
+	kindTotal      map[string]int
+	kindRemaining  map[string]int
+	kindSinceAudit map[string]int
+	auditDrift     map[string]int
+
+	// Pair coverage: the plan must wait until every (kind, object) pair
+	// still occurring in the future has at least one profiled
+	// observation — otherwise unobserved objects would look worthless
+	// and be evicted. pairsNeeded counts unseen pairs with future uses.
+	pairRemaining map[benefitKey]int
+	pairSeen      map[benefitKey]bool
+	pairsNeeded   int
+
+	plan       planResult
+	planned    bool
+	needReplan bool
+	replans    int
+	slowStreak map[string]int
+	dynamicJ   float64
+	// promoBlock blacklists chunks whose promotion just failed (no room);
+	// retries wait until some task completes, preventing a same-instant
+	// retry livelock. Cleared on every completion.
+	promoBlock    map[heap.ChunkRef]bool
+	totalPairs    int
+	levelEnforced []bool
+	pendingDRAM   int64
+	hwFrac        float64
+	overheadSec   float64
+	overheadProf  float64
+	overheadPlan  float64
+	overheadSync  float64
+	highWater     int64
+
+	blocked     []blockedTask
+	completed   int
+	lastPlanAt  int
+	frontierIdx int
+	dispatchQ   bool // dispatch scheduled for this instant
+
+	// exposureSince, when >= 0, marks the start of an interval in which a
+	// worker sits idle with no runnable task while tasks wait on
+	// migrations: the honest definition of exposed (non-overlapped)
+	// migration cost.
+	exposureSince float64
+}
+
+// Run executes the task graph under the configuration and returns the
+// simulated result. The graph is not mutated and may be reused.
+func Run(g *task.Graph, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	r := &runner{cfg: cfg, g: g}
+	if err := r.setup(); err != nil {
+		return Result{}, err
+	}
+	r.seed()
+	end := r.e.Run()
+	if r.completed != len(g.Tasks) {
+		return Result{}, fmt.Errorf("core: completed %d of %d tasks", r.completed, len(g.Tasks))
+	}
+	if testHook != nil {
+		testHook(r)
+	}
+	res := Result{
+		Workload:             g.Name,
+		Policy:               cfg.Policy.String(),
+		Time:                 end,
+		Tasks:                r.completed,
+		Migration:            r.mig.Stats(),
+		RuntimeOverheadSec:   r.overheadSec,
+		OverheadProfilingSec: r.overheadProf,
+		OverheadSolverSec:    r.overheadPlan,
+		OverheadSyncSec:      r.overheadSync,
+		PlanKind:             r.plan.kind,
+		Replans:              r.replans,
+		DRAMHighWaterBytes:   r.highWater,
+	}
+	res.EnergyDynamicJ, res.EnergyStaticJ = r.energy(end)
+	res.EnergyJ = res.EnergyDynamicJ + res.EnergyStaticJ
+	if end > 0 {
+		res.MemBusyFrac = r.memRes.BusySec() / end
+		res.CopyBusyFrac = r.mig.CopyBusySec() / end
+	}
+	return res, nil
+}
+
+// energy totals the run's memory-system energy: accumulated dynamic
+// access energy (tasks plus migration copies, which read the source and
+// write the destination) and static power of the installed devices over
+// the makespan. A DRAM-only machine installs DRAM for the whole
+// footprint and no NVM; an HMS installs its small DRAM plus NVM sized to
+// the footprint.
+func (r *runner) energy(makespan float64) (dynamicJ, staticJ float64) {
+	var footprint int64
+	for _, o := range r.g.Objects {
+		footprint += o.Size
+	}
+	// Both machines install the same main-memory capacity (a node is
+	// provisioned for its biggest job, not this one): at least 1 GiB.
+	installed := footprint
+	if installed < 1<<30 {
+		installed = 1 << 30
+	}
+	dram, nvm := r.cfg.HMS.DRAM, r.cfg.HMS.NVM
+	dynamicJ = r.dynamicJ
+	// Migration copies: a promotion reads NVM and writes DRAM, a demotion
+	// the reverse; charge the average of the two directions.
+	moved := float64(r.mig.Stats().BytesMoved)
+	dynamicJ += moved * (nvm.ReadPJPerByte + dram.WritePJPerByte +
+		dram.ReadPJPerByte + nvm.WritePJPerByte) / 2 * 1e-12
+
+	gb := func(b int64) float64 { return float64(b) / float64(1<<30) }
+	if r.cfg.Policy == DRAMOnly {
+		staticJ = gb(installed) * dram.StaticMWPerGB * 1e-3 * makespan
+	} else {
+		staticJ = (gb(r.cfg.HMS.DRAMCapacity)*dram.StaticMWPerGB +
+			gb(installed)*nvm.StaticMWPerGB) * 1e-3 * makespan
+	}
+	return dynamicJ, staticJ
+}
+
+// setup builds the simulated machine, the placement state with the
+// chunking plan, the profiler and models, and applies the policy's
+// initial placement.
+func (r *runner) setup() error {
+	r.e = sim.NewEngine()
+	// The memory system is one unit-rate service pool shared by both
+	// tiers (they hang off the same controllers): a task's stage demands
+	// its zero-contention service seconds — NVM bytes costing more per
+	// byte — and concurrent flows processor-share the pool.
+	r.memRes = r.e.AddResource("mem", 1)
+
+	hms := r.cfg.HMS
+	if r.cfg.Policy == DRAMOnly {
+		// Upper bound: unbounded DRAM, everything resident from the start.
+		var total int64
+		for _, o := range r.g.Objects {
+			total += o.Size
+		}
+		hms.DRAMCapacity = total + 1
+	}
+
+	st, err := heap.NewState(hms, r.g.Objects, r.chunkPlan())
+	if err != nil {
+		return err
+	}
+	r.st = st
+	r.mig = migrate.New(r.e, st, hms)
+	if r.cfg.Trace != nil {
+		r.mig.Observer = traceObserver{r.cfg.Trace}
+	}
+	r.profiler = prof.New(r.cfg.Prof)
+	r.params = model.Params{
+		HMS:           r.cfg.HMS,
+		CFBw:          r.cfg.CFBw,
+		CFLat:         r.cfg.CFLat,
+		DistinguishRW: r.cfg.Tech.DistinguishRW,
+	}
+	r.levels = r.g.Levels()
+
+	n := len(r.g.Tasks)
+	r.remaining = make([]int, n)
+	r.started = make([]bool, n)
+	r.finished = make([]bool, n)
+	for _, t := range r.g.Tasks {
+		r.remaining[t.ID] = len(t.Deps())
+	}
+	r.userCursor = make(map[task.ObjectID]int)
+	r.inUse = make(map[task.ObjectID]int)
+	r.exposureSince = -1
+
+	r.kindTotal = make(map[string]int)
+	r.kindRemaining = make(map[string]int)
+	r.pairRemaining = make(map[benefitKey]int)
+	r.pairSeen = make(map[benefitKey]bool)
+	for _, t := range r.g.Tasks {
+		r.kindTotal[t.Kind]++
+		r.kindRemaining[t.Kind]++
+		for _, a := range t.Accesses {
+			k := benefitKey{t.Kind, a.Obj}
+			if r.pairRemaining[k] == 0 {
+				r.pairsNeeded++
+			}
+			r.pairRemaining[k]++
+		}
+	}
+	r.totalPairs = r.pairsNeeded
+	r.slowStreak = make(map[string]int)
+	r.kindSinceAudit = make(map[string]int)
+	r.auditDrift = make(map[string]int)
+	r.promoBlock = make(map[heap.ChunkRef]bool)
+
+	switch r.cfg.Scheduler {
+	case FIFOQueue:
+		r.queue = sched.NewFIFO()
+	case LIFOQueue:
+		r.queue = sched.NewLIFO()
+	case RankSched:
+		rank := sched.UpwardRank(r.g, func(t *task.Task) float64 {
+			d := model.TaskDemand(t, r.cfg.HMS, func(task.ObjectID) float64 { return 0 })
+			return d.TotalSec()
+		})
+		r.queue = sched.NewPriority(func(t *task.Task) float64 { return rank[t.ID] })
+	default:
+		r.queue = sched.NewWorkSteal(r.cfg.Workers)
+	}
+	r.freeWorkers = make([]int, 0, r.cfg.Workers)
+	for w := r.cfg.Workers - 1; w >= 0; w-- {
+		r.freeWorkers = append(r.freeWorkers, w)
+	}
+
+	return r.applyInitialPlacement()
+}
+
+// seed readies the root tasks and schedules the first dispatch.
+func (r *runner) seed() {
+	for _, t := range r.g.Tasks {
+		if r.remaining[t.ID] == 0 {
+			r.queue.Push(t, -1)
+		}
+	}
+	r.scheduleDispatch()
+}
+
+// frontier returns the smallest task ID not yet started; submission-order
+// scans for proactive migration begin here. started[] bits only ever turn
+// on, so the cursor advances monotonically and the scan is amortized O(1).
+func (r *runner) frontier() task.TaskID {
+	for r.frontierIdx < len(r.started) && r.started[r.frontierIdx] {
+		r.frontierIdx++
+	}
+	return task.TaskID(r.frontierIdx)
+}
+
+// dramFrac is the placement view the timing model sees.
+func (r *runner) dramFrac(obj task.ObjectID) float64 {
+	switch r.cfg.Policy {
+	case DRAMOnly:
+		return 1
+	case HWCache:
+		return r.hwFrac
+	default:
+		return r.st.DRAMFraction(obj)
+	}
+}
+
+// scheduleDispatch coalesces dispatch work to one callback per instant.
+func (r *runner) scheduleDispatch() {
+	if r.dispatchQ {
+		return
+	}
+	r.dispatchQ = true
+	r.e.After(0, func(now float64) {
+		r.dispatchQ = false
+		r.dispatch(now)
+	})
+}
+
+// dispatch hands ready tasks to free workers, blocking tasks whose data
+// is mid-migration and (for reactive policies) requesting migrations.
+func (r *runner) dispatch(now float64) {
+	// Close any open exposure interval before the state changes.
+	if r.exposureSince >= 0 {
+		r.mig.AddExposed(now - r.exposureSince)
+		r.exposureSince = -1
+	}
+
+	// First, release tasks whose migrations completed.
+	if len(r.blocked) > 0 {
+		kept := r.blocked[:0]
+		for _, b := range r.blocked {
+			if r.migBusy(b.t) {
+				kept = append(kept, b)
+				continue
+			}
+			r.queue.Push(b.t, b.worker)
+		}
+		r.blocked = kept
+	}
+
+	for len(r.freeWorkers) > 0 {
+		w := r.freeWorkers[len(r.freeWorkers)-1]
+		t, ok := r.queue.Pop(w)
+		if !ok {
+			break
+		}
+		// Reactive migration: if the plan wants this task's data moved
+		// and it has not happened yet, request it now and wait.
+		if r.planned && !r.cfg.Tech.Proactive && r.cfg.Policy == Tahoe {
+			r.requestFor(t)
+		}
+		if r.cfg.Policy == PhaseBased && r.planned {
+			r.enforceLevel(r.levels[t.ID])
+		}
+		if r.migBusy(t) {
+			r.blocked = append(r.blocked, blockedTask{t: t, worker: w, blocked: now})
+			continue
+		}
+		r.freeWorkers = r.freeWorkers[:len(r.freeWorkers)-1]
+		r.start(now, w, t)
+	}
+
+	// A worker idling while ready tasks wait on the helper thread is
+	// migration cost the runtime failed to hide; start the clock.
+	if len(r.freeWorkers) > 0 && len(r.blocked) > 0 && r.queue.Len() == 0 {
+		r.exposureSince = now
+	}
+}
+
+// Audit cadence and count-deviation threshold for the drift detector.
+const (
+	auditEvery        = 16
+	auditDevThreshold = 1.0 // Record's drift score is already normalized
+)
+
+// reopenKind marks a kind's profile stale (workload variation detected):
+// its estimates and pair coverage reset and the placement is recomputed
+// once the kind is re-profiled.
+func (r *runner) reopenKind(kind string) {
+	r.profiler.MarkStale(kind)
+	r.needReplan = true
+	for k, seen := range r.pairSeen {
+		if seen && k.kind == kind {
+			r.pairSeen[k] = false
+			if r.pairRemaining[k] > 0 {
+				r.pairsNeeded++
+			}
+		}
+	}
+}
+
+// allPairsSeen reports whether every (kind, object) pair of the task has
+// a profiled estimate.
+func (r *runner) allPairsSeen(t *task.Task) bool {
+	for _, a := range t.Accesses {
+		if !r.pairSeen[benefitKey{t.Kind, a.Obj}] {
+			return false
+		}
+	}
+	return true
+}
+
+// migBusy reports whether any object of t has a queued or in-flight
+// move. Movements that are merely queued — speculative promotions for
+// other tasks — are cancelled rather than waited on: a ready task always
+// outranks a movement whose copy has not started. Only an actual
+// in-flight copy (or this task's own reactive request) blocks.
+func (r *runner) migBusy(t *task.Task) bool {
+	blocked := false
+	for _, a := range t.Accesses {
+		for i := 0; i < r.st.Chunks(a.Obj); i++ {
+			ref := heap.ChunkRef{Obj: a.Obj, Index: i}
+			if !r.mig.Busy(ref) {
+				continue
+			}
+			if r.mig.InFlight(ref) {
+				blocked = true
+				continue
+			}
+			if r.mig.CancelQueued(ref, t.ID) == 0 || r.mig.Busy(ref) {
+				// Own reactive request (or an uncancellable remainder).
+				blocked = true
+			}
+		}
+	}
+	return blocked
+}
+
+// start launches task t on worker w as a simulation flow.
+func (r *runner) start(now float64, w int, t *task.Task) {
+	r.started[t.ID] = true
+	r.kindRemaining[t.Kind]--
+	for _, a := range t.Accesses {
+		r.inUse[a.Obj]++
+		k := benefitKey{t.Kind, a.Obj}
+		r.pairRemaining[k]--
+		if r.pairRemaining[k] == 0 && !r.pairSeen[k] {
+			r.pairsNeeded--
+		}
+	}
+	if hw := r.st.DRAMUsed(); hw > r.highWater {
+		r.highWater = hw
+	}
+
+	var d model.Demand
+	if r.cfg.Policy == HWCache {
+		d = model.HWCacheDemand(t, r.cfg.HMS, r.hwFrac)
+	} else {
+		d = model.TaskDemand(t, r.machineHMS(), r.dramFrac)
+	}
+	for tier := 0; tier < 2; tier++ {
+		dev := r.cfg.HMS.Device(mem.Tier(tier))
+		r.dynamicJ += (d.BytesRead[tier]*dev.ReadPJPerByte +
+			d.BytesWritten[tier]*dev.WritePJPerByte) * 1e-12
+	}
+	fixed := d.FixedSec
+	// Profile while the kind's window is open; additionally whenever the
+	// task touches a (kind, object) pair with no estimate yet — pair
+	// coverage would otherwise stall on kinds that touch different
+	// objects in different executions (tiled kernels, shifting hot sets)
+	// — and periodically as an audit, so a kind whose traffic shifts
+	// within known pairs is caught by its own counters. Coverage and
+	// audit profiling sample narrowly and cost a fraction of a full pass.
+	windowOpen := r.profilesKinds() && !r.profiler.Profiled(t.Kind)
+	audit := false
+	if r.profilesKinds() && !windowOpen {
+		r.kindSinceAudit[t.Kind]++
+		if r.kindSinceAudit[t.Kind] >= auditEvery {
+			r.kindSinceAudit[t.Kind] = 0
+			audit = true
+		}
+	}
+	coverage := r.profilesKinds() && !windowOpen && (audit || !r.allPairsSeen(t))
+	profiling := windowOpen || coverage
+	if profiling {
+		frac := r.cfg.Overheads.ProfilingFrac
+		if coverage {
+			frac /= 4
+		}
+		over := d.MemSec() * frac
+		fixed += over
+		r.overheadSec += over
+		r.overheadProf += over
+	}
+	if r.cfg.Policy == Tahoe || r.cfg.Policy == PhaseBased {
+		over := r.cfg.Overheads.SyncPerRequestSec * float64(len(t.Accesses))
+		fixed += over
+		r.overheadSec += over
+		r.overheadSync += over
+	}
+
+	// Both tiers hang off one memory controller (true of Optane-class
+	// hardware and of the throttled-DRAM emulators), so the task's whole
+	// memory traffic is one demand on the shared memory-system resource:
+	// NVM bytes simply cost more service time per byte, and the combined
+	// latency floors cap the task's service rate. Placement can therefore
+	// approach — but never beat — the DRAM-only bound.
+	memSec := d.DevSec[mem.InDRAM] + d.DevSec[mem.InNVM]
+	latSec := d.LatSec[mem.InDRAM] + d.LatSec[mem.InNVM]
+	maxRate := 0.0
+	if latSec > 0 && memSec > 0 {
+		maxRate = memSec / latSec
+	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{
+			Time: now, Kind: trace.TaskStart, Task: t.ID, TaskKind: t.Kind, Worker: w,
+		})
+	}
+	load := r.cfg.Workers - len(r.freeWorkers) + 1
+	r.e.StartFlow(&sim.Flow{
+		Label: fmt.Sprintf("task:%s#%d", t.Kind, t.ID),
+		Stages: []sim.Stage{
+			{Fixed: fixed},
+			{Res: r.memRes, Bytes: memSec, MaxRate: maxRate},
+		},
+		OnDone: func(end float64) {
+			r.complete(end, now, w, t, d, load, profiling)
+		},
+	})
+
+	if r.cfg.RunKernels && t.Run != nil {
+		t.Run()
+	}
+}
+
+// machineHMS returns the device view the timing model should use: for
+// DRAMOnly the NVM tier never sees traffic anyway; for HWCache misses go
+// to NVM per dramFrac, which is exactly the blended view.
+func (r *runner) machineHMS() mem.HMS { return r.cfg.HMS }
+
+// profilesKinds reports whether this policy runs the online profiler.
+func (r *runner) profilesKinds() bool {
+	return r.cfg.Policy == Tahoe || r.cfg.Policy == PhaseBased
+}
+
+// complete finishes task t: profiling, drift detection, dependence
+// release, planning trigger, proactive scan, and redispatch.
+func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Demand, load int, profiled bool) {
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{
+			Time: end, Kind: trace.TaskEnd, Task: t.ID, TaskKind: t.Kind, Worker: w,
+		})
+	}
+	r.finished[t.ID] = true
+	r.completed++
+	if len(r.promoBlock) > 0 {
+		r.promoBlock = make(map[heap.ChunkRef]bool)
+	}
+	for _, a := range t.Accesses {
+		r.inUse[a.Obj]--
+	}
+	r.advanceCursors(t)
+
+	dur := end - began
+	if r.profilesKinds() {
+		if profiled {
+			obs := make([]prof.AccessObs, 0, len(t.Accesses))
+			for _, a := range t.Accesses {
+				share := 0.0
+				if dur > 0 {
+					share = d.ObjSec[a.Obj] / dur
+				}
+				obs = append(obs, prof.AccessObs{
+					Obj: a.Obj, Loads: a.Loads, Stores: a.Stores,
+					Size: r.g.Object(a.Obj).Size, TimeShare: share,
+				})
+				k := benefitKey{t.Kind, a.Obj}
+				if !r.pairSeen[k] {
+					r.pairSeen[k] = true
+					if r.pairRemaining[k] > 0 {
+						r.pairsNeeded--
+					}
+				}
+			}
+			dev := r.profiler.Record(prof.Exec{TaskID: t.ID, Kind: t.Kind, Duration: dur, Obs: obs})
+			// Count-level drift: a periodic audit whose sampled counts
+			// disagree strongly with the stored profile means the kind's
+			// behaviour changed within known pairs. Two consecutive
+			// deviating audits re-open profiling and re-plan.
+			if r.planned && dev > auditDevThreshold {
+				r.auditDrift[t.Kind]++
+				if r.auditDrift[t.Kind] >= 2 {
+					r.auditDrift[t.Kind] = 0
+					r.reopenKind(t.Kind)
+				}
+			} else if dev <= auditDevThreshold {
+				r.auditDrift[t.Kind] = 0
+			}
+		} else if r.planned && r.checkDrift(t, dur, d, load) {
+			// Duration-level drift beyond what placement and contention
+			// explain: re-open profiling and re-plan.
+			r.reopenKind(t.Kind)
+		}
+		r.maybePlan(end)
+	}
+
+	for _, s := range t.Succs() {
+		r.remaining[s]--
+		if r.remaining[s] == 0 {
+			r.queue.Push(r.g.Task(s), w)
+		}
+	}
+	r.freeWorkers = append(r.freeWorkers, w)
+
+	if r.planned && r.cfg.Tech.Proactive && r.cfg.Policy == Tahoe {
+		if r.plan.kind == "global" {
+			// Idempotent: enqueues only what is still missing, so global
+			// promotions that could not proceed earlier (target briefly in
+			// use, no room) are retried as execution unblocks them.
+			r.enforceGlobal()
+		} else {
+			r.proactiveScan()
+		}
+	}
+	r.scheduleDispatch()
+}
+
+// advanceCursors moves each touched object's user cursor past every
+// finished user, unlocking dependence-safe migrations.
+func (r *runner) advanceCursors(t *task.Task) {
+	seen := map[task.ObjectID]bool{}
+	for _, a := range t.Accesses {
+		if seen[a.Obj] {
+			continue
+		}
+		seen[a.Obj] = true
+		users := r.g.Users(a.Obj)
+		cur := r.userCursor[a.Obj]
+		for cur < len(users) && r.finished[users[cur]] {
+			cur++
+		}
+		r.userCursor[a.Obj] = cur
+	}
+}
+
+// safeFor reports whether obj may be migrated for task t: every earlier
+// user has finished and no running task touches it.
+func (r *runner) safeFor(obj task.ObjectID, t task.TaskID) bool {
+	if r.inUse[obj] > 0 {
+		return false
+	}
+	users := r.g.Users(obj)
+	cur := r.userCursor[obj]
+	return cur >= len(users) || users[cur] >= t
+}
+
+// maxReplans bounds workload-variation re-planning so a pathological
+// feedback loop (placement changes durations, durations trigger replans)
+// cannot thrash.
+const maxReplans = 8
+
+// maybePlan triggers the placement decision once every kind with future
+// executions has completed its profiling window and every future
+// (kind, object) pair has been observed — or unconditionally past 15%
+// completion, so graphs whose pairs keep appearing (shifting hot sets,
+// one-shot pipelines) still get a plan. Replans need only a short
+// cool-down (the drift detector's streak already filters noise).
+func (r *runner) maybePlan(now float64) {
+	if r.planned && !r.needReplan {
+		return
+	}
+	if r.planned && r.needReplan {
+		cooldown := len(r.g.Tasks) / 50
+		if cooldown < prof.DriftStreak {
+			cooldown = prof.DriftStreak
+		}
+		if r.replans >= maxReplans || r.completed-r.lastPlanAt < cooldown {
+			return
+		}
+	}
+	// Every kind with future executions must have completed its profiling
+	// window; per-byte kind profiles stand in for not-yet-seen
+	// (kind, object) pairs. For the first plan, kinds not reached yet
+	// (deep dependence chains) hold planning back until half the graph
+	// has run; a re-plan always waits for its re-profiling to finish —
+	// planning on a freshly wiped profile would consume the trigger and
+	// learn nothing.
+	readyToPlan := true
+	for kind, rem := range r.kindRemaining {
+		if rem > 0 && !r.profiler.Profiled(kind) {
+			readyToPlan = false
+			break
+		}
+	}
+	if !readyToPlan {
+		if r.planned || r.completed < len(r.g.Tasks)/2 {
+			return
+		}
+	}
+	if r.planned {
+		r.replans++
+	}
+	r.needReplan = false
+	r.lastPlanAt = r.completed
+	r.decidePlacement(now)
+}
+
+// checkDrift is the placement- and contention-aware duration drift
+// detector: a task is "slow" only relative to what the demand model
+// expects for its current data placement at the concurrency it actually
+// ran under — a task whose objects sit in NVM by plan, or that shared
+// the memory system with seven peers, is exactly as slow as predicted.
+// Only a sustained residue beyond both effects signals that the kind's
+// behaviour changed and its profile is stale.
+func (r *runner) checkDrift(t *task.Task, dur float64, d model.Demand, load int) bool {
+	if load < 1 {
+		load = 1
+	}
+	memSec := d.DevSec[mem.InDRAM] + d.DevSec[mem.InNVM]
+	latSec := d.LatSec[mem.InDRAM] + d.LatSec[mem.InNVM]
+	expected := d.FixedSec + memSec*float64(load)
+	if latSec > expected-d.FixedSec {
+		expected = d.FixedSec + latSec
+	}
+	if dur > 2.0*expected {
+		r.slowStreak[t.Kind]++
+		if r.slowStreak[t.Kind] >= prof.DriftStreak {
+			r.slowStreak[t.Kind] = 0
+			return true
+		}
+		return false
+	}
+	r.slowStreak[t.Kind] = 0
+	return false
+}
+
+// decidePlacement runs the searches the configuration enables, charges
+// the solver cost, and applies the winner.
+func (r *runner) decidePlacement(now float64) {
+	var future []*task.Task
+	for _, t := range r.g.Tasks {
+		if !r.started[t.ID] {
+			future = append(future, t)
+		}
+	}
+	sort.Slice(future, func(i, j int) bool { return future[i].ID < future[j].ID })
+
+	if r.cfg.Policy == PhaseBased {
+		r.plan = r.computeLevelPlan(future)
+		r.finishPlan(now, r.plan.solverSec)
+		return
+	}
+
+	var best planResult
+	have := false
+	if r.cfg.Tech.GlobalSearch {
+		best = r.computeGlobalPlan(future)
+		have = true
+	}
+	if r.cfg.Tech.LocalSearch {
+		local := r.computeLocalPlan(future)
+		if !have || local.predicted < best.predicted {
+			local.solverSec += best.solverSec
+			best = local
+		} else {
+			best.solverSec += local.solverSec
+		}
+		have = true
+	}
+	if !have {
+		return
+	}
+	r.plan = best
+	r.finishPlan(now, best.solverSec)
+
+	if r.plan.kind == "global" {
+		r.enforceGlobal()
+	} else if r.cfg.Tech.Proactive {
+		r.proactiveScan()
+	}
+}
+
+// traceObserver adapts the trace log to the migration engine's hook.
+type traceObserver struct{ t *trace.Trace }
+
+func (o traceObserver) CopyStarted(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
+	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationStart,
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
+}
+
+func (o traceObserver) CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, ok bool) {
+	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationEnd,
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
+}
+
+// finishPlan charges the solver's runtime cost.
+func (r *runner) finishPlan(now float64, cost float64) {
+	r.planned = true
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.Plan, Label: r.plan.kind})
+	}
+	cost *= r.cfg.Overheads.PlanPerItemSec / solverItemSec // scale by config
+	r.overheadSec += cost
+	r.overheadPlan += cost
+	// The decision runs on the main thread: model it as a short
+	// serialization that delays dispatch.
+	if cost > 0 {
+		r.e.StartFlow(&sim.Flow{
+			Label:  "runtime:plan",
+			Stages: []sim.Stage{{Fixed: cost}},
+			OnDone: func(float64) { r.scheduleDispatch() },
+		})
+	}
+}
+
+// enforceGlobal enqueues the one-time migrations of the global plan.
+// Residents outside the target are demoted only when a promotion needs
+// their space; gratuitous eviction of unmentioned data would churn.
+func (r *runner) enforceGlobal() {
+	refs := make([]heap.ChunkRef, 0, len(r.plan.global))
+	for ref := range r.plan.global {
+		if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+			refs = append(refs, ref)
+		}
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Obj != refs[j].Obj {
+			return refs[i].Obj < refs[j].Obj
+		}
+		return refs[i].Index < refs[j].Index
+	})
+	for _, ref := range refs {
+		r.tryPromote(ref, r.plan.global, -1)
+	}
+}
+
+// enforceLevel enqueues the PhaseBased plan for a level (once per level),
+// plus the next level's, giving the comparator its one-phase lookahead.
+func (r *runner) enforceLevel(lv int) {
+	for _, l := range []int{lv, lv + 1} {
+		if l >= len(r.levelDone()) || r.levelEnforced[l] {
+			continue
+		}
+		if l >= len(r.plan.perLevel) || r.plan.perLevel[l] == nil {
+			continue
+		}
+		r.levelEnforced[l] = true
+		target := r.plan.perLevel[l]
+		// Promote the level's targets, demoting only as space requires.
+		refs := make([]heap.ChunkRef, 0, len(target))
+		for ref := range target {
+			if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+				refs = append(refs, ref)
+			}
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].Obj != refs[j].Obj {
+				return refs[i].Obj < refs[j].Obj
+			}
+			return refs[i].Index < refs[j].Index
+		})
+		for _, ref := range refs {
+			r.tryPromote(ref, target, -1)
+		}
+	}
+}
+
+// levelDone sizes the levelEnforced slice lazily.
+func (r *runner) levelDone() []bool {
+	if r.levelEnforced == nil {
+		maxLevel := 0
+		for _, lv := range r.levels {
+			if lv > maxLevel {
+				maxLevel = lv
+			}
+		}
+		r.levelEnforced = make([]bool, maxLevel+2)
+	}
+	return r.levelEnforced
+}
+
+// proactiveScan looks ahead over the next Lookahead undispatched tasks in
+// submission order and enqueues every dependence-safe migration their
+// local-search targets require, evicting farthest-next-use residents as
+// needed. This is the task-graph-driven early trigger that hides copy
+// time.
+func (r *runner) proactiveScan() {
+	if r.plan.perTask == nil {
+		return
+	}
+	// First pass: the union of the window's targets. Eviction victims are
+	// chosen outside this union, so one task's promotion never evicts a
+	// chunk another task in the same window is about to need — per-task
+	// keep-sets would fight each other and triple the data movement.
+	type want struct {
+		ref heap.ChunkRef
+		obj task.ObjectID
+		id  task.TaskID
+	}
+	var wants []want
+	windowKeep := make(chunkSet)
+	count := 0
+	for id := r.frontier(); int(id) < len(r.g.Tasks) && count < r.cfg.Lookahead; id++ {
+		if r.started[id] {
+			continue
+		}
+		count++
+		target := r.plan.perTask[id]
+		if target == nil {
+			continue
+		}
+		for ref := range target {
+			windowKeep[ref] = true
+		}
+		t := r.g.Task(id)
+		for _, a := range t.Accesses {
+			for _, ref := range r.chunkRefs(a.Obj) {
+				if !target[ref] || r.st.Tier(ref) == mem.InDRAM || r.mig.Busy(ref) || r.promoBlock[ref] {
+					continue
+				}
+				if !r.safeFor(a.Obj, id) {
+					continue
+				}
+				wants = append(wants, want{ref, a.Obj, id})
+			}
+		}
+	}
+	seen := make(map[heap.ChunkRef]bool, len(wants))
+	for _, w := range wants {
+		if seen[w.ref] || r.mig.Busy(w.ref) {
+			continue
+		}
+		seen[w.ref] = true
+		r.tryPromote(w.ref, windowKeep, w.id)
+	}
+}
+
+// tryPromote attempts one chunk promotion: make room by demoting
+// farthest-next-use residents, and enqueue the copy only when the
+// projected DRAM headroom actually covers it — a promotion that cannot
+// fit (its would-be victims are in use) is silently skipped and retried
+// on a later scan, rather than enqueued to fail and stall dispatch.
+func (r *runner) tryPromote(ref heap.ChunkRef, keep chunkSet, forTask task.TaskID) bool {
+	size := r.st.ChunkSize(ref)
+	r.makeRoom(size, keep, forTask)
+	if r.st.DRAMAvail()-r.pendingDRAM < size {
+		return false
+	}
+	r.enqueueMove(ref, mem.InDRAM, forTask)
+	return true
+}
+
+// makeRoom enqueues demotions of the farthest-next-use DRAM residents not
+// wanted by the current target set until size bytes fit.
+func (r *runner) makeRoom(size int64, keep chunkSet, forTask task.TaskID) {
+	free := r.st.DRAMAvail() - r.pendingDRAM
+	if free >= size {
+		return
+	}
+	type victim struct {
+		ref     heap.ChunkRef
+		nextUse int
+	}
+	var victims []victim
+	for _, o := range r.g.Objects {
+		if r.inUse[o.ID] > 0 || r.mig.BusyObject(o.ID) {
+			continue
+		}
+		for _, ref := range r.chunkRefs(o.ID) {
+			if r.st.Tier(ref) != mem.InDRAM || keep[ref] {
+				continue
+			}
+			next := len(r.g.Tasks) + 1
+			if nu, ok := r.g.NextUser(o.ID, forTask-1); ok {
+				next = int(nu)
+			}
+			victims = append(victims, victim{ref, next})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].nextUse != victims[j].nextUse {
+			return victims[i].nextUse > victims[j].nextUse
+		}
+		return victims[i].ref.Obj < victims[j].ref.Obj ||
+			(victims[i].ref.Obj == victims[j].ref.Obj && victims[i].ref.Index < victims[j].ref.Index)
+	})
+	for _, v := range victims {
+		if free >= size {
+			return
+		}
+		free += r.st.ChunkSize(v.ref)
+		r.enqueueMove(v.ref, mem.InNVM, -1)
+	}
+}
+
+// requestFor (reactive mode) enqueues the migrations task t's plan wants,
+// right at dispatch, so their cost is exposed.
+func (r *runner) requestFor(t *task.Task) {
+	target := r.planTargetFor(t.ID)
+	if target == nil {
+		return
+	}
+	for _, a := range t.Accesses {
+		for _, ref := range r.chunkRefs(a.Obj) {
+			if target[ref] && r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) &&
+				!r.promoBlock[ref] && r.safeFor(a.Obj, t.ID) {
+				r.tryPromote(ref, target, t.ID)
+			}
+		}
+	}
+}
+
+// planTargetFor returns the plan's DRAM target set when task id runs.
+func (r *runner) planTargetFor(id task.TaskID) chunkSet {
+	switch r.plan.kind {
+	case "global":
+		return r.plan.global
+	case "local":
+		if r.plan.perTask == nil {
+			return nil
+		}
+		return r.plan.perTask[id]
+	case "phase":
+		if int(r.levels[id]) < len(r.plan.perLevel) {
+			return r.plan.perLevel[r.levels[id]]
+		}
+	}
+	return nil
+}
+
+// enqueueMove hands one movement to the helper thread, tracking the
+// projected DRAM headroom and the queue-synchronization overhead.
+func (r *runner) enqueueMove(ref heap.ChunkRef, to mem.Tier, forTask task.TaskID) {
+	size := r.st.ChunkSize(ref)
+	if to == mem.InDRAM {
+		r.pendingDRAM += size
+	} else {
+		r.pendingDRAM -= size
+	}
+	r.overheadSec += r.cfg.Overheads.SyncPerRequestSec
+	r.overheadSync += r.cfg.Overheads.SyncPerRequestSec
+	r.mig.Enqueue(migrate.Request{
+		Ref: ref, To: to, ForTask: forTask,
+		Done: func(now float64, ok bool) {
+			if to == mem.InDRAM {
+				r.pendingDRAM -= size
+				if !ok {
+					r.promoBlock[ref] = true
+				}
+			} else {
+				r.pendingDRAM += size
+			}
+			r.scheduleDispatch()
+		},
+	})
+}

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/task"
+)
+
+// clDeque is a Chase-Lev work-stealing deque (the dynamic circular-array
+// formulation of Chase & Lev, with the C11-style memory ordering of
+// Lê et al., which Go's sequentially-consistent atomics satisfy): the
+// owner pushes and pops at the bottom without contention, thieves steal
+// from the top with a single compare-and-swap.
+type clDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[clRing]
+}
+
+// clRing is one power-of-two circular buffer generation.
+type clRing struct {
+	mask  int64
+	items []atomic.Pointer[task.Task]
+}
+
+func newCLRing(size int64) *clRing {
+	return &clRing{mask: size - 1, items: make([]atomic.Pointer[task.Task], size)}
+}
+
+func (r *clRing) get(i int64) *task.Task    { return r.items[i&r.mask].Load() }
+func (r *clRing) put(i int64, t *task.Task) { r.items[i&r.mask].Store(t) }
+
+// newCLDeque returns an empty deque with a small initial buffer.
+func newCLDeque() *clDeque {
+	d := &clDeque{}
+	d.buf.Store(newCLRing(64))
+	return d
+}
+
+// push appends at the bottom. Owner-only.
+func (d *clDeque) push(t *task.Task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	r := d.buf.Load()
+	if b-top > r.mask {
+		// Grow: copy the live window into a buffer twice the size.
+		bigger := newCLRing((r.mask + 1) * 2)
+		for i := top; i < b; i++ {
+			bigger.put(i, r.get(i))
+		}
+		d.buf.Store(bigger)
+		r = bigger
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// popBottom removes the newest entry. Owner-only.
+func (d *clDeque) popBottom() (*task.Task, bool) {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	top := d.top.Load()
+	if top > b {
+		// Empty: restore.
+		d.bottom.Store(top)
+		return nil, false
+	}
+	t := r.get(b)
+	if top == b {
+		// Last element: race the thieves for it.
+		won := d.top.CompareAndSwap(top, top+1)
+		d.bottom.Store(top + 1)
+		if !won {
+			return nil, false
+		}
+		return t, true
+	}
+	return t, true
+}
+
+// stealTop removes the oldest entry. Any thread.
+func (d *clDeque) stealTop() (*task.Task, bool) {
+	top := d.top.Load()
+	b := d.bottom.Load()
+	if top >= b {
+		return nil, false
+	}
+	r := d.buf.Load()
+	t := r.get(top)
+	if !d.top.CompareAndSwap(top, top+1) {
+		return nil, false // lost the race; caller may retry elsewhere
+	}
+	return t, true
+}

@@ -1,0 +1,138 @@
+// Package heap tracks where application data objects live on the
+// heterogeneous memory system: which tier (DRAM or NVM) holds each object
+// — or each chunk of a partitioned object — and at which address. It
+// provides the user-level DRAM space service the runtime uses to ration
+// the scarce DRAM tier, mirroring the paper's per-node service that
+// coordinates DRAM allowance across processes without OS changes.
+package heap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// span is a contiguous free address range [off, off+size).
+type span struct {
+	off, size int64
+}
+
+// FreeList is a first-fit address-space allocator with eager coalescing.
+// It stands in for the simple user-level allocator the paper's runtime
+// uses for the DRAM tier: data movement is deliberately infrequent, so
+// allocation speed matters less than a fragmentation-free accounting of
+// the scarce space.
+type FreeList struct {
+	capacity int64
+	used     int64
+	free     []span // sorted by offset, pairwise non-adjacent
+}
+
+// NewFreeList returns an allocator over [0, capacity).
+func NewFreeList(capacity int64) *FreeList {
+	if capacity < 0 {
+		panic(fmt.Sprintf("heap: negative capacity %d", capacity))
+	}
+	f := &FreeList{capacity: capacity}
+	if capacity > 0 {
+		f.free = []span{{0, capacity}}
+	}
+	return f
+}
+
+// Capacity returns the total managed bytes.
+func (f *FreeList) Capacity() int64 { return f.capacity }
+
+// Used returns the currently allocated bytes.
+func (f *FreeList) Used() int64 { return f.used }
+
+// Avail returns the free bytes (which may be fragmented).
+func (f *FreeList) Avail() int64 { return f.capacity - f.used }
+
+// Largest returns the size of the largest contiguous free range.
+func (f *FreeList) Largest() int64 {
+	var max int64
+	for _, s := range f.free {
+		if s.size > max {
+			max = s.size
+		}
+	}
+	return max
+}
+
+// Alloc reserves size bytes first-fit and returns the offset.
+func (f *FreeList) Alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("heap: alloc of non-positive size %d", size)
+	}
+	for i := range f.free {
+		if f.free[i].size >= size {
+			off := f.free[i].off
+			f.free[i].off += size
+			f.free[i].size -= size
+			if f.free[i].size == 0 {
+				f.free = append(f.free[:i], f.free[i+1:]...)
+			}
+			f.used += size
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("heap: out of space: need %d, avail %d (largest run %d)",
+		size, f.Avail(), f.Largest())
+}
+
+// Free returns [off, off+size) to the allocator, coalescing with
+// neighbours. Freeing a range that overlaps free space is an error.
+func (f *FreeList) Free(off, size int64) error {
+	if size <= 0 || off < 0 || off+size > f.capacity {
+		return fmt.Errorf("heap: free of invalid range [%d,%d)", off, off+size)
+	}
+	i := sort.Search(len(f.free), func(i int) bool { return f.free[i].off >= off })
+	if i < len(f.free) && f.free[i].off < off+size {
+		return fmt.Errorf("heap: double free at [%d,%d)", off, off+size)
+	}
+	if i > 0 && f.free[i-1].off+f.free[i-1].size > off {
+		return fmt.Errorf("heap: double free at [%d,%d)", off, off+size)
+	}
+	// Insert, then coalesce with predecessor and successor.
+	f.free = append(f.free, span{})
+	copy(f.free[i+1:], f.free[i:])
+	f.free[i] = span{off, size}
+	if i+1 < len(f.free) && f.free[i].off+f.free[i].size == f.free[i+1].off {
+		f.free[i].size += f.free[i+1].size
+		f.free = append(f.free[:i+1], f.free[i+2:]...)
+	}
+	if i > 0 && f.free[i-1].off+f.free[i-1].size == f.free[i].off {
+		f.free[i-1].size += f.free[i].size
+		f.free = append(f.free[:i], f.free[i+1:]...)
+	}
+	f.used -= size
+	return nil
+}
+
+// CheckInvariants verifies the free list is sorted, in-bounds,
+// non-overlapping, fully coalesced, and consistent with Used().
+func (f *FreeList) CheckInvariants() error {
+	var total int64
+	for i, s := range f.free {
+		if s.size <= 0 {
+			return fmt.Errorf("heap: empty free span at %d", i)
+		}
+		if s.off < 0 || s.off+s.size > f.capacity {
+			return fmt.Errorf("heap: free span [%d,%d) out of bounds", s.off, s.off+s.size)
+		}
+		if i > 0 {
+			prev := f.free[i-1]
+			if prev.off+prev.size > s.off {
+				return fmt.Errorf("heap: overlapping free spans")
+			}
+			if prev.off+prev.size == s.off {
+				return fmt.Errorf("heap: uncoalesced free spans at %d", s.off)
+			}
+		}
+		total += s.size
+	}
+	if total != f.capacity-f.used {
+		return fmt.Errorf("heap: free bytes %d != capacity-used %d", total, f.capacity-f.used)
+	}
+	return nil
+}

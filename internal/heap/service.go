@@ -1,0 +1,77 @@
+package heap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Service is the user-level DRAM space service: one instance runs per
+// node and rations the node's DRAM allowance among the runtime instances
+// (e.g. the MPI ranks or task-runtime shards) sharing it, so that DRAM
+// placement needs no OS support. It is safe for concurrent use.
+type Service struct {
+	mu        sync.Mutex
+	allowance int64
+	granted   map[string]int64
+	total     int64
+}
+
+// NewService returns a service managing the given DRAM allowance in bytes.
+func NewService(allowance int64) *Service {
+	if allowance < 0 {
+		panic(fmt.Sprintf("heap: negative DRAM allowance %d", allowance))
+	}
+	return &Service{allowance: allowance, granted: make(map[string]int64)}
+}
+
+// Reserve grants bytes of DRAM to the named client, or reports an error
+// if the node allowance would be exceeded.
+func (s *Service) Reserve(client string, bytes int64) error {
+	if bytes <= 0 {
+		return fmt.Errorf("heap: reserve of non-positive size %d", bytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.total+bytes > s.allowance {
+		return fmt.Errorf("heap: DRAM allowance exhausted: %s wants %d, %d of %d in use",
+			client, bytes, s.total, s.allowance)
+	}
+	s.granted[client] += bytes
+	s.total += bytes
+	return nil
+}
+
+// Release returns bytes of DRAM from the named client.
+func (s *Service) Release(client string, bytes int64) error {
+	if bytes <= 0 {
+		return fmt.Errorf("heap: release of non-positive size %d", bytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.granted[client] < bytes {
+		return fmt.Errorf("heap: %s releasing %d but holds %d", client, bytes, s.granted[client])
+	}
+	s.granted[client] -= bytes
+	if s.granted[client] == 0 {
+		delete(s.granted, client)
+	}
+	s.total -= bytes
+	return nil
+}
+
+// Granted returns the bytes currently held by a client.
+func (s *Service) Granted(client string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.granted[client]
+}
+
+// InUse returns the total bytes granted across all clients.
+func (s *Service) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Allowance returns the node's total DRAM allowance.
+func (s *Service) Allowance() int64 { return s.allowance }

@@ -1,0 +1,243 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// ChunkRef names one chunk of one object.
+type ChunkRef struct {
+	Obj   task.ObjectID
+	Index int
+}
+
+// String formats the reference as "obj#3[2]".
+func (c ChunkRef) String() string { return fmt.Sprintf("obj#%d[%d]", c.Obj, c.Index) }
+
+// alloc is one physical piece backing part of a chunk.
+type alloc struct {
+	off, size int64
+}
+
+// chunkState is one chunk's residency. Like any paged memory system, a
+// chunk's bytes need not be physically contiguous: it is backed by one or
+// more pieces, so residency never fails to fragmentation — only to
+// genuine capacity shortfall.
+type chunkState struct {
+	size   int64
+	tier   mem.Tier
+	allocs []alloc
+}
+
+// objState tracks an object's partitioning and chunk residency.
+type objState struct {
+	size   int64
+	chunks []chunkState
+}
+
+// State is the placement map of every object (and chunk) plus the two
+// tiers' allocators. All data starts in NVM, the paper's default initial
+// placement; Move promotes or demotes one chunk at a time.
+type State struct {
+	hms  mem.HMS
+	dram *FreeList
+	nvm  *FreeList
+	objs []objState
+}
+
+// NewState lays out the graph's objects on the HMS, all in NVM.
+// chunksFor, if non-nil, gives the number of chunks to split an object
+// into (values < 2, or entries for non-chunkable objects, mean "whole").
+func NewState(hms mem.HMS, objects []*task.Object, chunksFor map[task.ObjectID]int) (*State, error) {
+	if err := hms.Validate(); err != nil {
+		return nil, err
+	}
+	s := &State{
+		hms:  hms,
+		dram: NewFreeList(hms.DRAMCapacity),
+		nvm:  NewFreeList(hms.NVMCapacity),
+		objs: make([]objState, len(objects)),
+	}
+	for _, o := range objects {
+		n := 1
+		if chunksFor != nil && o.Chunkable {
+			if c := chunksFor[o.ID]; c > 1 {
+				n = c
+			}
+		}
+		chunks := make([]chunkState, n)
+		base := o.Size / int64(n)
+		rem := o.Size - base*int64(n)
+		for i := range chunks {
+			sz := base
+			if int64(i) < rem {
+				sz++
+			}
+			if sz == 0 {
+				sz = 1 // degenerate: more chunks than bytes
+			}
+			allocs, err := allocFragmented(s.nvm, sz)
+			if err != nil {
+				return nil, fmt.Errorf("heap: placing %q in NVM: %w", o.Name, err)
+			}
+			chunks[i] = chunkState{size: sz, tier: mem.InNVM, allocs: allocs}
+		}
+		s.objs[o.ID] = objState{size: o.Size, chunks: chunks}
+	}
+	return s, nil
+}
+
+// Chunks returns how many chunks the object was split into.
+func (s *State) Chunks(obj task.ObjectID) int { return len(s.objs[obj].chunks) }
+
+// ChunkSize returns the byte size of one chunk.
+func (s *State) ChunkSize(ref ChunkRef) int64 { return s.objs[ref.Obj].chunks[ref.Index].size }
+
+// Tier returns where a chunk currently lives.
+func (s *State) Tier(ref ChunkRef) mem.Tier { return s.objs[ref.Obj].chunks[ref.Index].tier }
+
+// DRAMFraction returns the fraction of the object's bytes resident in
+// DRAM. The timing model splits an object's traffic between the tiers in
+// this proportion, which assumes accesses are uniform over the object —
+// the same assumption the paper's chunk profiling refines.
+func (s *State) DRAMFraction(obj task.ObjectID) float64 {
+	o := &s.objs[obj]
+	var inDRAM int64
+	for _, c := range o.chunks {
+		if c.tier == mem.InDRAM {
+			inDRAM += c.size
+		}
+	}
+	return float64(inDRAM) / float64(o.size)
+}
+
+// InDRAM reports whether the whole object is DRAM-resident.
+func (s *State) InDRAM(obj task.ObjectID) bool {
+	for _, c := range s.objs[obj].chunks {
+		if c.tier != mem.InDRAM {
+			return false
+		}
+	}
+	return true
+}
+
+// DRAMUsed and DRAMAvail expose the DRAM service's accounting.
+func (s *State) DRAMUsed() int64  { return s.dram.Used() }
+func (s *State) DRAMAvail() int64 { return s.dram.Avail() }
+
+// CanPromote reports whether the chunk would fit in DRAM right now.
+// Allocation is fragmented (paged), so available bytes suffice.
+func (s *State) CanPromote(ref ChunkRef) bool {
+	c := &s.objs[ref.Obj].chunks[ref.Index]
+	return c.tier == mem.InDRAM || s.dram.Avail() >= c.size
+}
+
+// allocPiece is the preferred physical piece size (a 2 MB superpage):
+// allocation requests split into pieces, falling back to whatever runs
+// remain, so capacity — not fragmentation — is the only limit.
+const allocPiece = 2 << 20
+
+// allocFragmented backs size bytes with pieces from f.
+func allocFragmented(f *FreeList, size int64) ([]alloc, error) {
+	if f.Avail() < size {
+		return nil, fmt.Errorf("heap: need %d, avail %d", size, f.Avail())
+	}
+	var out []alloc
+	unwind := func() {
+		for _, a := range out {
+			_ = f.Free(a.off, a.size)
+		}
+	}
+	remaining := size
+	for remaining > 0 {
+		piece := int64(allocPiece)
+		if remaining < piece {
+			piece = remaining
+		}
+		if l := f.Largest(); l < piece {
+			piece = l
+		}
+		if piece <= 0 {
+			unwind()
+			return nil, fmt.Errorf("heap: allocator exhausted with %d bytes unbacked", remaining)
+		}
+		off, err := f.Alloc(piece)
+		if err != nil {
+			unwind()
+			return nil, err
+		}
+		out = append(out, alloc{off, piece})
+		remaining -= piece
+	}
+	return out, nil
+}
+
+// Move relocates a chunk to the given tier, updating both allocators.
+// Moving a chunk to its current tier is a no-op. The caller (the
+// migration engine) is responsible for charging the copy's time.
+func (s *State) Move(ref ChunkRef, to mem.Tier) error {
+	c := &s.objs[ref.Obj].chunks[ref.Index]
+	if c.tier == to {
+		return nil
+	}
+	src, dst := s.allocator(c.tier), s.allocator(to)
+	allocs, err := allocFragmented(dst, c.size)
+	if err != nil {
+		return fmt.Errorf("heap: move %v to %v: %w", ref, to, err)
+	}
+	for _, a := range c.allocs {
+		if err := src.Free(a.off, a.size); err != nil {
+			return fmt.Errorf("heap: move %v released bad source range: %w", ref, err)
+		}
+	}
+	c.tier, c.allocs = to, allocs
+	return nil
+}
+
+func (s *State) allocator(t mem.Tier) *FreeList {
+	if t == mem.InDRAM {
+		return s.dram
+	}
+	return s.nvm
+}
+
+// ResidentBytes returns the bytes of application objects on a tier.
+func (s *State) ResidentBytes(t mem.Tier) int64 {
+	var total int64
+	for i := range s.objs {
+		for _, c := range s.objs[i].chunks {
+			if c.tier == t {
+				total += c.size
+			}
+		}
+	}
+	return total
+}
+
+// CheckInvariants cross-checks chunk accounting against both allocators.
+func (s *State) CheckInvariants() error {
+	if err := s.dram.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := s.nvm.CheckInvariants(); err != nil {
+		return err
+	}
+	if got, want := s.ResidentBytes(mem.InDRAM), s.dram.Used(); got != want {
+		return fmt.Errorf("heap: DRAM resident %d != allocator used %d", got, want)
+	}
+	if got, want := s.ResidentBytes(mem.InNVM), s.nvm.Used(); got != want {
+		return fmt.Errorf("heap: NVM resident %d != allocator used %d", got, want)
+	}
+	for i := range s.objs {
+		var sum int64
+		for _, c := range s.objs[i].chunks {
+			sum += c.size
+		}
+		if sum < s.objs[i].size {
+			return fmt.Errorf("heap: object %d chunks cover %d of %d bytes", i, sum, s.objs[i].size)
+		}
+	}
+	return nil
+}

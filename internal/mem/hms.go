@@ -1,0 +1,115 @@
+package mem
+
+import "fmt"
+
+// Tier identifies which device of the HMS a piece of data lives on.
+type Tier int
+
+const (
+	// InNVM is the default tier: large, slow, non-volatile.
+	InNVM Tier = iota
+	// InDRAM is the scarce, fast tier.
+	InDRAM
+)
+
+// String returns "DRAM" or "NVM".
+func (t Tier) String() string {
+	if t == InDRAM {
+		return "DRAM"
+	}
+	return "NVM"
+}
+
+// Other returns the opposite tier.
+func (t Tier) Other() Tier {
+	if t == InDRAM {
+		return InNVM
+	}
+	return InDRAM
+}
+
+// HMS describes a heterogeneous memory system: the two device specs, their
+// capacities, and the DRAM<->NVM copy bandwidth used by data migration.
+type HMS struct {
+	DRAM DeviceSpec
+	NVM  DeviceSpec
+	// DRAMCapacity bounds how many bytes of application data objects may
+	// reside in DRAM; the paper's experiments use 128 MB - 512 MB.
+	DRAMCapacity int64
+	// NVMCapacity bounds NVM residency; effectively unbounded in practice.
+	NVMCapacity int64
+	// CopyBW is the sustained bandwidth, in bytes/second, of the helper
+	// thread's DRAM<->NVM memcpy. It is limited by the slower of the two
+	// devices on the relevant direction.
+	CopyBW float64
+}
+
+// Device returns the spec for a tier.
+func (h HMS) Device(t Tier) DeviceSpec {
+	if t == InDRAM {
+		return h.DRAM
+	}
+	return h.NVM
+}
+
+// Capacity returns the byte capacity of a tier.
+func (h HMS) Capacity(t Tier) int64 {
+	if t == InDRAM {
+		return h.DRAMCapacity
+	}
+	return h.NVMCapacity
+}
+
+// Validate reports an error for non-physical configurations.
+func (h HMS) Validate() error {
+	if err := h.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := h.NVM.Validate(); err != nil {
+		return err
+	}
+	if h.DRAMCapacity < 0 {
+		return fmt.Errorf("mem: negative DRAM capacity %d", h.DRAMCapacity)
+	}
+	if h.NVMCapacity <= 0 {
+		return fmt.Errorf("mem: non-positive NVM capacity %d", h.NVMCapacity)
+	}
+	if h.CopyBW <= 0 {
+		return fmt.Errorf("mem: non-positive copy bandwidth %g", h.CopyBW)
+	}
+	return nil
+}
+
+// DefaultCopyBW derives a copy bandwidth from the two device specs: a
+// DRAM->NVM or NVM->DRAM memcpy is paced by the slower side of the pair
+// (NVM write for demotion, NVM read for promotion); we use the promotion
+// path since promotions dominate, derated by 20% for copy overheads.
+func DefaultCopyBW(dram, nvm DeviceSpec) float64 {
+	bw := nvm.ReadBW
+	if dram.WriteBW < bw {
+		bw = dram.WriteBW
+	}
+	return bw * 0.8
+}
+
+// NewHMS builds an HMS from two device specs and a DRAM capacity, filling
+// in an effectively unbounded NVM capacity and the default copy bandwidth.
+func NewHMS(dram, nvm DeviceSpec, dramCap int64) HMS {
+	return HMS{
+		DRAM:         dram,
+		NVM:          nvm,
+		DRAMCapacity: dramCap,
+		NVMCapacity:  1 << 44, // 16 TB: never the binding constraint
+		CopyBW:       DefaultCopyBW(dram, nvm),
+	}
+}
+
+// DRAMOnly returns an HMS whose "NVM" is a second DRAM device and whose
+// DRAM capacity is unbounded: the upper-bound configuration every
+// experiment normalizes against.
+func DRAMOnly() HMS {
+	d := DRAM()
+	h := NewHMS(d, d, 1<<44)
+	h.NVM.Name = "DRAM"
+	return h
+}

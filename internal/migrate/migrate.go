@@ -1,0 +1,225 @@
+// Package migrate implements the proactive data-movement mechanism: a
+// helper thread that performs asynchronous DRAM<->NVM copies requested by
+// the runtime, overlapping them with task execution. The main runtime and
+// the helper interact through a FIFO request queue, exactly as in the
+// paper: the runtime enqueues movement requests as soon as the task
+// graph says they are dependence-safe; the helper performs them one at a
+// time at the copy bandwidth; the runtime checks completion before
+// dispatching a task whose data is in flight and accounts any wait as
+// exposed (non-overlapped) migration cost.
+package migrate
+
+import (
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Request asks the helper thread to move one chunk to a tier.
+type Request struct {
+	Ref heap.ChunkRef
+	To  mem.Tier
+	// ForTask is the task this movement serves (diagnostic; promotions
+	// from the global plan use -1).
+	ForTask task.TaskID
+	// Done, if non-nil, runs at the virtual time the movement finishes;
+	// ok reports whether the chunk actually moved (false when the target
+	// tier had no room, in which case the data stays put and the program
+	// remains correct, just slower).
+	Done func(now float64, ok bool)
+}
+
+// Stats aggregates the migration activity of one run — the numbers behind
+// the paper's migration-details table: how many movements, how many bytes,
+// how much copy time, and how much of it the runtime failed to hide.
+type Stats struct {
+	Migrations int
+	Failed     int
+	BytesMoved int64
+	// CopySec is total helper-thread copy time.
+	CopySec float64
+	// ExposedSec is task wait time attributable to in-flight or queued
+	// migrations (charged by the runtime via AddExposed).
+	ExposedSec float64
+}
+
+// OverlapFraction is the share of copy time hidden under execution.
+func (s Stats) OverlapFraction() float64 {
+	if s.CopySec <= 0 {
+		return 1
+	}
+	f := 1 - s.ExposedSec/s.CopySec
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Observer receives copy lifecycle notifications (e.g. for tracing).
+type Observer interface {
+	CopyStarted(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64)
+	CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, ok bool)
+}
+
+// Engine is the helper thread. It is driven entirely by the simulation
+// engine: Enqueue may be called from any simulation callback.
+type Engine struct {
+	sim     *sim.Engine
+	copyRes *sim.Resource
+	state   *heap.State
+
+	// Observer, if non-nil, is notified of every copy's start and end.
+	Observer Observer
+
+	queue   []Request
+	busy    bool
+	current heap.ChunkRef         // chunk being copied when busy
+	pending map[heap.ChunkRef]int // queued or in-flight requests per chunk
+
+	stats Stats
+}
+
+// New returns a migration engine copying at h.CopyBW over the given
+// placement state.
+func New(e *sim.Engine, state *heap.State, h mem.HMS) *Engine {
+	return &Engine{
+		sim:     e,
+		copyRes: e.AddResource("copy", h.CopyBW),
+		state:   state,
+		pending: make(map[heap.ChunkRef]int),
+	}
+}
+
+// Enqueue appends a movement request to the helper thread's queue.
+// Requests for chunks already at the target tier complete immediately.
+func (m *Engine) Enqueue(r Request) {
+	if m.state.Tier(r.Ref) == r.To && m.pending[r.Ref] == 0 {
+		if r.Done != nil {
+			done := r.Done
+			m.sim.After(0, func(now float64) { done(now, true) })
+		}
+		return
+	}
+	m.pending[r.Ref]++
+	m.queue = append(m.queue, r)
+	m.kick()
+}
+
+// Busy reports whether the chunk has a queued or in-flight movement; the
+// runtime must not dispatch a task touching a busy chunk.
+func (m *Engine) Busy(ref heap.ChunkRef) bool { return m.pending[ref] > 0 }
+
+// InFlight reports whether the chunk's bytes are being copied right now
+// (as opposed to merely waiting in the queue).
+func (m *Engine) InFlight(ref heap.ChunkRef) bool { return m.busy && m.current == ref }
+
+// CancelQueued removes every queued (not yet copying) request for the
+// chunk except those serving the given task, firing their Done callbacks
+// with ok=false. It returns how many requests were cancelled. The
+// runtime uses it to let a ready task run instead of waiting on a
+// speculative movement that has not even started.
+func (m *Engine) CancelQueued(ref heap.ChunkRef, except task.TaskID) int {
+	kept := m.queue[:0]
+	var cancelled []Request
+	for _, r := range m.queue {
+		if r.Ref == ref && r.ForTask != except {
+			cancelled = append(cancelled, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.queue = kept
+	for _, r := range cancelled {
+		m.pending[r.Ref]--
+		if m.pending[r.Ref] == 0 {
+			delete(m.pending, r.Ref)
+		}
+		if r.Done != nil {
+			done := r.Done
+			m.sim.After(0, func(now float64) { done(now, false) })
+		}
+	}
+	return len(cancelled)
+}
+
+// BusyObject reports whether any chunk of the object is busy.
+func (m *Engine) BusyObject(obj task.ObjectID) bool {
+	for i := 0; i < m.state.Chunks(obj); i++ {
+		if m.Busy(heap.ChunkRef{Obj: obj, Index: i}) {
+			return true
+		}
+	}
+	return false
+}
+
+// QueueLen returns the number of waiting requests (excluding in-flight).
+func (m *Engine) QueueLen() int { return len(m.queue) }
+
+// AddExposed charges task wait time against the overlap accounting.
+func (m *Engine) AddExposed(sec float64) { m.stats.ExposedSec += sec }
+
+// Stats returns a snapshot of the migration statistics.
+func (m *Engine) Stats() Stats { return m.stats }
+
+// CopyBusySec returns the helper thread's accumulated busy time.
+func (m *Engine) CopyBusySec() float64 { return m.copyRes.BusySec() }
+
+// kick starts the next copy if the helper thread is idle.
+func (m *Engine) kick() {
+	if m.busy || len(m.queue) == 0 {
+		return
+	}
+	r := m.queue[0]
+	m.queue = m.queue[1:]
+	m.busy = true
+	m.current = r.Ref
+
+	finish := func(now float64, ok bool) {
+		m.pending[r.Ref]--
+		if m.pending[r.Ref] == 0 {
+			delete(m.pending, r.Ref)
+		}
+		m.busy = false
+		if r.Done != nil {
+			r.Done(now, ok)
+		}
+		m.kick()
+	}
+
+	if m.state.Tier(r.Ref) == r.To {
+		// Became moot while queued (e.g. duplicate requests).
+		m.sim.After(0, func(now float64) { finish(now, true) })
+		return
+	}
+	if r.To == mem.InDRAM && !m.state.CanPromote(r.Ref) {
+		// No room: drop the promotion. The data stays readable in NVM.
+		m.stats.Failed++
+		m.sim.After(0, func(now float64) { finish(now, false) })
+		return
+	}
+
+	size := m.state.ChunkSize(r.Ref)
+	if m.Observer != nil {
+		m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
+	}
+	m.sim.StartFlow(&sim.Flow{
+		Label:  "migrate:" + r.Ref.String(),
+		Stages: []sim.Stage{{Res: m.copyRes, Bytes: float64(size)}},
+		OnDone: func(now float64) {
+			err := m.state.Move(r.Ref, r.To)
+			ok := err == nil
+			if ok {
+				m.stats.Migrations++
+				m.stats.BytesMoved += size
+			} else {
+				m.stats.Failed++
+			}
+			m.stats.CopySec += float64(size) / m.copyRes.Bandwidth()
+			if m.Observer != nil {
+				m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
+			}
+			finish(now, ok)
+		},
+	})
+}

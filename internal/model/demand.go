@@ -1,0 +1,136 @@
+// Package model holds the two model layers of the system.
+//
+// The first layer (this file) is the ground truth of the simulated
+// machine: how long a task's memory traffic takes on a given device mix.
+// Every access stream contributes two things per device:
+//
+//   - a bandwidth demand — its bytes, which processor-share the device
+//     with every other concurrent stream; and
+//   - a latency floor — (loads·RL + stores·WL)/MLP, the fastest the
+//     stream can go regardless of idle bandwidth, because dependent
+//     accesses cannot be pipelined beyond the stream's memory-level
+//     parallelism.
+//
+// A streaming access (high MLP) has a negligible floor and is governed
+// by bandwidth and contention; a pointer chase (MLP=1) has a floor far
+// above its bandwidth time and is governed by device latency, consuming
+// almost no bandwidth. These are exactly the two sensitivities
+// (bandwidth-sensitive vs latency-sensitive data objects) the paper's
+// placement decisions key on — and the floor keeps the physics honest:
+// raising latency can only ever slow a device down.
+//
+// The second layer (equations.go) is the runtime's approximate view: the
+// paper's benefit and cost equations evaluated over noisy sampled
+// profiles and calibrated with constant factors. The gap between the two
+// layers is the honest part of the reproduction: the runtime plans with
+// its model, the simulator charges the truth.
+package model
+
+import (
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// AccessTime returns the two candidate times for an access's traffic on a
+// device — the latency floor and the bandwidth time at zero contention —
+// in seconds. The stream's actual duration is at least the larger of the
+// two, and grows with bandwidth contention.
+func AccessTime(loads, stores float64, mlp float64, d mem.DeviceSpec) (lat, bw float64) {
+	if mlp < 1 {
+		mlp = 1
+	}
+	lat = (loads*d.ReadLatSec() + stores*d.WriteLatSec()) / mlp
+	bw = loads*mem.CacheLineSize/d.ReadBW + stores*mem.CacheLineSize/d.WriteBW
+	return lat, bw
+}
+
+// Demand is a task's ground-truth resource demand under a placement.
+// Bandwidth demand is expressed in service seconds at the device's peak
+// (the simulation's device resources run at unit rate), so one second of
+// DevSec occupies the whole device for one second.
+type Demand struct {
+	// FixedSec is pure CPU time; it does not touch memory devices.
+	FixedSec float64
+	// DevSec[tier] is bandwidth-bound service time on each device.
+	DevSec [2]float64
+	// LatSec[tier] is the latency floor of the task's accesses on each
+	// device: its device stage cannot finish faster than this.
+	LatSec [2]float64
+	// ObjSec[obj] is the per-object memory time (the larger of floor and
+	// zero-contention bandwidth time); the profiler's time-share
+	// observations derive from it.
+	ObjSec map[task.ObjectID]float64
+
+	// BytesRead[tier] and BytesWritten[tier] are the task's traffic per
+	// device, for energy accounting.
+	BytesRead    [2]float64
+	BytesWritten [2]float64
+
+	// memSec accumulates the ObjSec total in access order, so MemSec is
+	// deterministic (map iteration order is not).
+	memSec float64
+}
+
+// MemSec returns the total zero-contention memory time: per object, the
+// governing bound.
+func (d Demand) MemSec() float64 { return d.memSec }
+
+// TotalSec returns the task's zero-contention execution time estimate.
+func (d Demand) TotalSec() float64 {
+	t := d.FixedSec
+	for tier := 0; tier < 2; tier++ {
+		dev := d.DevSec[tier]
+		if d.LatSec[tier] > dev {
+			dev = d.LatSec[tier]
+		}
+		t += dev
+	}
+	return t
+}
+
+// StageRate returns the simulation rate cap for a tier's device stage:
+// the stage's service bytes spread over its latency floor. Zero means
+// uncapped (no floor).
+func (d Demand) StageRate(tier mem.Tier) float64 {
+	if d.LatSec[tier] <= 0 || d.DevSec[tier] <= 0 {
+		return 0
+	}
+	return d.DevSec[tier] / d.LatSec[tier]
+}
+
+// TaskDemand computes the ground-truth demand of one task under the
+// current placement. dramFrac gives, per object, the fraction of its
+// bytes resident in DRAM; traffic splits proportionally (uniform-access
+// assumption over the object, refined only by chunking).
+func TaskDemand(t *task.Task, h mem.HMS, dramFrac func(task.ObjectID) float64) Demand {
+	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d.FixedSec = t.CPUSec
+	for _, a := range t.Accesses {
+		f := dramFrac(a.Obj)
+		var objTime float64
+		for _, tier := range []mem.Tier{mem.InDRAM, mem.InNVM} {
+			share := f
+			if tier == mem.InNVM {
+				share = 1 - f
+			}
+			if share <= 0 {
+				continue
+			}
+			loads := float64(a.Loads) * share
+			stores := float64(a.Stores) * share
+			lat, bw := AccessTime(loads, stores, a.MLP, h.Device(tier))
+			d.DevSec[tier] += bw
+			d.LatSec[tier] += lat
+			d.BytesRead[tier] += loads * mem.CacheLineSize
+			d.BytesWritten[tier] += stores * mem.CacheLineSize
+			if lat > bw {
+				objTime += lat
+			} else {
+				objTime += bw
+			}
+		}
+		d.ObjSec[a.Obj] += objTime
+		d.memSec += objTime
+	}
+	return d
+}

@@ -1,0 +1,66 @@
+package model
+
+import (
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// HWCacheDemand computes a task's demand under Memory Mode: DRAM is a
+// hardware-managed cache in front of NVM with hit ratio `hit`. Unlike
+// software placement, caching costs extra traffic on both devices:
+//
+//   - a load hit reads DRAM; a load miss reads NVM and fills the line
+//     into DRAM (a DRAM write);
+//   - a store hit writes DRAM; a store miss first fills from NVM, then
+//     writes DRAM; dirty lines eventually write back to NVM.
+//
+// This is why Memory Mode cannot beat an equally-accurate software
+// placement: the cache pays fill and write-back bandwidth that explicit
+// placement avoids.
+func HWCacheDemand(t *task.Task, h mem.HMS, hit float64) Demand {
+	if hit < 0 {
+		hit = 0
+	}
+	if hit > 1 {
+		hit = 1
+	}
+	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d.FixedSec = t.CPUSec
+	dram, nvm := h.DRAM, h.NVM
+	for _, a := range t.Accesses {
+		mlp := a.MLP
+		if mlp < 1 {
+			mlp = 1
+		}
+		loads, stores := float64(a.Loads), float64(a.Stores)
+		missL := loads * (1 - hit)
+		missS := stores * (1 - hit)
+
+		// Per-device read/write line counts.
+		dramReads := loads*hit + stores*hit // hits (stores read-modify in cache)
+		dramWrites := stores + missL        // all stores land in cache; load misses fill
+		nvmReads := missL + missS           // misses fetch from NVM
+		nvmWrites := missS                  // dirty write-backs (steady state ~ store misses)
+
+		latD := (dramReads*dram.ReadLatSec() + dramWrites*dram.WriteLatSec()) / mlp
+		latN := (nvmReads*nvm.ReadLatSec() + nvmWrites*nvm.WriteLatSec()) / mlp
+		bwD := dramReads*mem.CacheLineSize/dram.ReadBW + dramWrites*mem.CacheLineSize/dram.WriteBW
+		bwN := nvmReads*mem.CacheLineSize/nvm.ReadBW + nvmWrites*mem.CacheLineSize/nvm.WriteBW
+
+		d.DevSec[mem.InDRAM] += bwD
+		d.LatSec[mem.InDRAM] += latD
+		d.DevSec[mem.InNVM] += bwN
+		d.LatSec[mem.InNVM] += latN
+		d.BytesRead[mem.InDRAM] += dramReads * mem.CacheLineSize
+		d.BytesWritten[mem.InDRAM] += dramWrites * mem.CacheLineSize
+		d.BytesRead[mem.InNVM] += nvmReads * mem.CacheLineSize
+		d.BytesWritten[mem.InNVM] += nvmWrites * mem.CacheLineSize
+		objTime := bwD + bwN
+		if latD+latN > objTime {
+			objTime = latD + latN
+		}
+		d.ObjSec[a.Obj] += objTime
+		d.memSec += objTime
+	}
+	return d
+}

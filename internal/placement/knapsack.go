@@ -1,0 +1,165 @@
+// Package placement solves the data-placement decision problem: given
+// candidate data objects (or chunks), each with a size and a weight —
+// predicted benefit minus migration and eviction costs, the paper's
+// equation (7) — choose the subset to keep in DRAM that maximizes total
+// weight without exceeding the DRAM capacity. This is a 0-1 knapsack
+// problem; the runtime solves it with dynamic programming, and the test
+// suite cross-checks the DP against greedy and exhaustive solvers.
+package placement
+
+import (
+	"sort"
+
+	"repro/internal/heap"
+)
+
+// Item is one candidate DRAM resident.
+type Item struct {
+	Ref    heap.ChunkRef
+	Size   int64
+	Weight float64
+}
+
+// DefaultGranularity quantizes sizes for the DP table; 1 MB keeps the
+// table small while DRAM capacities are hundreds of MB.
+const DefaultGranularity = 1 << 20
+
+// Knapsack returns the indices of the chosen items, maximizing total
+// weight subject to the capacity. Sizes are quantized up to gran
+// (conservative: a chosen set always really fits). Items with
+// non-positive weight are never chosen — moving them cannot pay off.
+func Knapsack(items []Item, capacity int64, gran int64) []int {
+	if gran <= 0 {
+		gran = DefaultGranularity
+	}
+	cells := int(capacity / gran)
+	if cells <= 0 || len(items) == 0 {
+		return nil
+	}
+
+	// Candidate filter: positive weight and fits at all.
+	type cand struct {
+		idx   int
+		cells int
+		w     float64
+	}
+	var cands []cand
+	for i, it := range items {
+		if it.Weight <= 0 || it.Size <= 0 {
+			continue
+		}
+		c := int((it.Size + gran - 1) / gran)
+		if c > cells {
+			continue
+		}
+		cands = append(cands, cand{idx: i, cells: c, w: it.Weight})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Classic DP over capacity cells, tracking choices with a bitset row
+	// per item to reconstruct the solution.
+	best := make([]float64, cells+1)
+	taken := make([][]bool, len(cands))
+	for i, c := range cands {
+		row := make([]bool, cells+1)
+		for cap := cells; cap >= c.cells; cap-- {
+			if v := best[cap-c.cells] + c.w; v > best[cap] {
+				best[cap] = v
+				row[cap] = true
+			}
+		}
+		taken[i] = row
+	}
+
+	// Reconstruct.
+	var chosen []int
+	cap := cells
+	for i := len(cands) - 1; i >= 0; i-- {
+		if taken[i][cap] {
+			chosen = append(chosen, cands[i].idx)
+			cap -= cands[i].cells
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// Greedy chooses items by weight density (weight per byte) until the
+// capacity is exhausted — the classic knapsack approximation, kept as a
+// fast fallback and a cross-check for the DP.
+func Greedy(items []Item, capacity int64) []int {
+	order := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Weight > 0 && it.Size > 0 && it.Size <= capacity {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := items[order[a]].Weight / float64(items[order[a]].Size)
+		db := items[order[b]].Weight / float64(items[order[b]].Size)
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	var chosen []int
+	var used int64
+	for _, i := range order {
+		if used+items[i].Size <= capacity {
+			chosen = append(chosen, i)
+			used += items[i].Size
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// BruteForce enumerates all subsets; only usable for small item counts.
+// It is the oracle the property tests compare the DP against.
+func BruteForce(items []Item, capacity int64) []int {
+	n := len(items)
+	if n > 20 {
+		panic("placement: BruteForce beyond 20 items")
+	}
+	bestW, bestMask := 0.0, 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var size int64
+		var w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size += items[i].Size
+				w += items[i].Weight
+			}
+		}
+		if size <= capacity && w > bestW {
+			bestW, bestMask = w, mask
+		}
+	}
+	var chosen []int
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<i) != 0 {
+			chosen = append(chosen, i)
+		}
+	}
+	return chosen
+}
+
+// TotalWeight sums the weights of the chosen indices.
+func TotalWeight(items []Item, chosen []int) float64 {
+	var w float64
+	for _, i := range chosen {
+		w += items[i].Weight
+	}
+	return w
+}
+
+// TotalSize sums the sizes of the chosen indices.
+func TotalSize(items []Item, chosen []int) int64 {
+	var s int64
+	for _, i := range chosen {
+		s += items[i].Size
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heap"
+	"repro/internal/task"
+)
+
+func item(obj int, size int64, w float64) Item {
+	return Item{Ref: heap.ChunkRef{Obj: task.ObjectID(obj)}, Size: size, Weight: w}
+}
+
+func TestKnapsackPrefersWeightOverDensity(t *testing.T) {
+	// Greedy (density) takes the two small dense items; the DP finds the
+	// single large item worth more in total.
+	items := []Item{
+		item(0, 60, 60), // density 1.0
+		item(1, 60, 60), // density 1.0
+		item(2, 100, 150),
+	}
+	chosen := Knapsack(items, 100, 1)
+	if len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("DP chose %v, want [2]", chosen)
+	}
+	greedy := Greedy(items, 100)
+	if TotalWeight(items, greedy) > TotalWeight(items, chosen) {
+		t.Fatal("greedy beat the DP")
+	}
+}
+
+func TestKnapsackSkipsNonPositiveWeights(t *testing.T) {
+	items := []Item{
+		item(0, 10, -5),
+		item(1, 10, 0),
+		item(2, 10, 3),
+	}
+	chosen := Knapsack(items, 100, 1)
+	if len(chosen) != 1 || chosen[0] != 2 {
+		t.Fatalf("chose %v, want only the positive item", chosen)
+	}
+}
+
+func TestKnapsackRespectsCapacity(t *testing.T) {
+	items := []Item{
+		item(0, 50, 10),
+		item(1, 60, 10),
+		item(2, 70, 10),
+	}
+	chosen := Knapsack(items, 115, 1)
+	if TotalSize(items, chosen) > 115 {
+		t.Fatalf("capacity exceeded: %d", TotalSize(items, chosen))
+	}
+	if len(chosen) != 2 {
+		t.Fatalf("chose %v, want two items", chosen)
+	}
+}
+
+func TestKnapsackQuantizationIsConservative(t *testing.T) {
+	// With 10-byte granularity, a list of 11-byte items costs 20 bytes
+	// each in the table, so a 40-byte capacity takes exactly 2.
+	items := []Item{
+		item(0, 11, 1), item(1, 11, 1), item(2, 11, 1), item(3, 11, 1),
+	}
+	chosen := Knapsack(items, 40, 10)
+	if len(chosen) != 2 {
+		t.Fatalf("quantized choice = %v, want 2 items", chosen)
+	}
+	if TotalSize(items, chosen) > 40 {
+		t.Fatal("quantization overpacked")
+	}
+}
+
+func TestKnapsackEmptyAndOversize(t *testing.T) {
+	if got := Knapsack(nil, 100, 1); got != nil {
+		t.Fatal("nil items should choose nothing")
+	}
+	items := []Item{item(0, 1000, 99)}
+	if got := Knapsack(items, 100, 1); got != nil {
+		t.Fatal("oversize item chosen")
+	}
+	if got := Knapsack(items, 0, 1); got != nil {
+		t.Fatal("zero capacity chose items")
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	items := []Item{
+		item(0, 3, 4), item(1, 4, 5), item(2, 5, 6),
+	}
+	chosen := BruteForce(items, 7)
+	// Best is items 0+1: weight 9, size 7.
+	if TotalWeight(items, chosen) != 9 {
+		t.Fatalf("brute force weight = %g, want 9", TotalWeight(items, chosen))
+	}
+}
+
+// TestKnapsackMatchesBruteForce property-checks the DP (at granularity 1)
+// against exhaustive search on random small instances.
+func TestKnapsackMatchesBruteForce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 1
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = item(i, int64(rng.Intn(50)+1), float64(rng.Intn(100))-10)
+		}
+		capacity := int64(rng.Intn(150) + 1)
+		dp := Knapsack(items, capacity, 1)
+		bf := BruteForce(items, capacity)
+		if TotalSize(items, dp) > capacity {
+			return false
+		}
+		// Equal optimal weight (ties may differ in membership).
+		return TotalWeight(items, dp) == TotalWeight(items, bf)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyNeverExceedsCapacity and never beats the DP at granularity 1.
+func TestGreedyProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 1
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = item(i, int64(rng.Intn(100)+1), float64(rng.Intn(100)))
+		}
+		capacity := int64(rng.Intn(300) + 1)
+		g := Greedy(items, capacity)
+		if TotalSize(items, g) > capacity {
+			return false
+		}
+		dp := Knapsack(items, capacity, 1)
+		return TotalWeight(items, g) <= TotalWeight(items, dp)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForcePanicsBeyond20(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BruteForce(make([]Item, 21), 10)
+}

@@ -1,0 +1,362 @@
+// Package prof emulates the online, hardware-counter-based phase profiling
+// the runtime performs: during the first executions of each task kind, the
+// per-object load and store counts are sampled (PEBS/IBS style, loads and
+// stores counted separately because NVM read/write asymmetry matters), and
+// each object's main-memory bandwidth consumption is estimated from the
+// fraction of samples that hit it — the paper's equation (1).
+//
+// The emulation injects what real sampling injects: a systematic
+// undercount (the constant factors CF_bw/CF_lat exist to calibrate it
+// away) and deterministic per-(task, object) jitter. All noise derives
+// from a splitmix64 hash of (seed, task, object), so profiles are
+// reproducible and independent of execution order.
+package prof
+
+import (
+	"math"
+
+	"repro/internal/task"
+)
+
+// Config controls the sampling emulation.
+type Config struct {
+	// SamplingInterval is the mean number of memory accesses between
+	// samples (the paper samples every 1000 CPU cycles; at roughly one
+	// access per cycle for memory-bound phases this is the same knob).
+	SamplingInterval int64
+	// Bias is the systematic fraction of true traffic the sampled counts
+	// capture (< 1: sampling undercounts). CF calibration corrects it.
+	Bias float64
+	// Jitter is the relative magnitude of per-observation noise.
+	Jitter float64
+	// Seed makes all noise deterministic.
+	Seed uint64
+	// Window is how many executions of a task kind are profiled before
+	// the kind is considered known (the paper profiles the first two
+	// iterations of the main loop).
+	Window int
+}
+
+// DefaultConfig matches the paper's setup: 1000-access sampling interval,
+// a mild undercount, and a two-execution profiling window.
+func DefaultConfig() Config {
+	return Config{
+		SamplingInterval: 1000,
+		Bias:             0.92,
+		Jitter:           0.05,
+		Seed:             1,
+		Window:           2,
+	}
+}
+
+// splitmix64 is the standard 64-bit mix function; deterministic noise
+// without importing math/rand keeps profiles stable across Go versions.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitNoise maps a hash to a deterministic value in [-1, 1).
+func unitNoise(h uint64) float64 {
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// Sample exposes the sampling emulation for offline calibration: it
+// returns the sampled estimate of a true event count, keyed for
+// deterministic noise.
+func (c Config) Sample(trueCount int64, key uint64) int64 {
+	return c.sampleCount(trueCount, splitmix64(c.Seed^key))
+}
+
+// sampleCount emulates counter sampling of a true event count: apply the
+// systematic bias, then jitter shrinking with the number of samples taken
+// (more samples, tighter estimate — the law-of-large-numbers behaviour of
+// real sampled counters).
+func (c Config) sampleCount(trueCount int64, h uint64) int64 {
+	if trueCount <= 0 {
+		return 0
+	}
+	samples := float64(trueCount) / float64(c.SamplingInterval)
+	rel := c.Jitter
+	if samples > 1 {
+		rel = c.Jitter / math.Sqrt(samples)
+	}
+	est := float64(trueCount) * c.Bias * (1 + rel*unitNoise(h))
+	if est < 0 {
+		est = 0
+	}
+	return int64(est + 0.5)
+}
+
+// AccessObs is the ground truth the simulator exposes for one task's use
+// of one object; the profiler turns it into a noisy observation.
+type AccessObs struct {
+	Obj    task.ObjectID
+	Loads  int64
+	Stores int64
+	// Size is the object's byte size, known to the runtime from the
+	// task's access annotation; it lets profiles generalize across
+	// same-kind tasks touching different (but same-shaped) objects.
+	Size int64
+	// TimeShare is the fraction of the task's execution during which this
+	// object's memory accesses were in flight; the sampled analog of
+	// "#samples with data accesses / #samples" in equation (1).
+	TimeShare float64
+}
+
+// Exec is one profiled task execution.
+type Exec struct {
+	TaskID   task.TaskID
+	Kind     string
+	Duration float64 // seconds
+	Obs      []AccessObs
+}
+
+// Estimate is the profiler's per-(kind, object) output, averaged over the
+// profiling window: sampled per-execution loads and stores, and the
+// equation-(1) bandwidth-consumption estimate in bytes/second.
+type Estimate struct {
+	Loads  float64
+	Stores float64
+	BWCons float64
+}
+
+type key struct {
+	kind string
+	obj  task.ObjectID
+}
+
+type accum struct {
+	execs  int
+	loads  float64
+	stores float64
+	bwCons float64
+	// mad is the running mean absolute deviation of (loads+stores),
+	// the yardstick that separates a pair's normal execution-to-execution
+	// variance (halo vs main-operand roles, boundary tasks) from a
+	// genuine shift in the kind's behaviour.
+	mad float64
+}
+
+// kindAccum aggregates a kind's traffic per object byte, the basis of
+// the fallback estimate for not-yet-observed (kind, object) pairs.
+type kindAccum struct {
+	obsBytes float64
+	loads    float64
+	stores   float64
+	bwCons   float64
+	n        int
+}
+
+// Profiler aggregates sampled observations per task kind.
+type Profiler struct {
+	cfg       Config
+	stats     map[key]*accum
+	kindStats map[string]*kindAccum
+	kindExecs map[string]int
+	// kindDur tracks mean profiled duration per kind for drift detection.
+	kindDur map[string]float64
+	// stale marks kinds whose post-profiling performance drifted.
+	stale map[string]bool
+	// slow counts consecutive slower-than-threshold observations.
+	slow map[string]int
+}
+
+// New returns a Profiler with the given configuration.
+func New(cfg Config) *Profiler {
+	if cfg.SamplingInterval <= 0 {
+		cfg.SamplingInterval = 1000
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 2
+	}
+	if cfg.Bias <= 0 {
+		cfg.Bias = 1
+	}
+	return &Profiler{
+		cfg:       cfg,
+		stats:     make(map[key]*accum),
+		kindStats: make(map[string]*kindAccum),
+		kindExecs: make(map[string]int),
+		kindDur:   make(map[string]float64),
+		stale:     make(map[string]bool),
+		slow:      make(map[string]int),
+	}
+}
+
+// Profiled reports whether the kind has completed its profiling window.
+func (p *Profiler) Profiled(kind string) bool {
+	return p.kindExecs[kind] >= p.cfg.Window && !p.stale[kind]
+}
+
+// Seen reports whether the kind has been observed at all.
+func (p *Profiler) Seen(kind string) bool { return p.kindExecs[kind] > 0 }
+
+// Record ingests one profiled execution, applying sampling emulation.
+// It returns the largest relative deviation between this execution's
+// sampled counts and the previously stored per-pair estimates (0 when no
+// prior estimate existed): the count-level drift signal periodic audits
+// use to detect workload variation without any duration heuristics.
+func (p *Profiler) Record(e Exec) (maxRelDev float64) {
+	p.kindExecs[e.Kind]++
+	n := float64(p.kindExecs[e.Kind])
+	p.kindDur[e.Kind] += (e.Duration - p.kindDur[e.Kind]) / n
+	if p.stale[e.Kind] && p.kindExecs[e.Kind] >= p.cfg.Window {
+		delete(p.stale, e.Kind)
+	}
+	for _, o := range e.Obs {
+		h := splitmix64(p.cfg.Seed ^ uint64(e.TaskID)<<20 ^ uint64(o.Obj))
+		loads := p.cfg.sampleCount(o.Loads, h)
+		stores := p.cfg.sampleCount(o.Stores, splitmix64(h))
+		k := key{e.Kind, o.Obj}
+		a := p.stats[k]
+		if a == nil {
+			a = &accum{}
+			p.stats[k] = a
+		}
+		if a.execs > 1 {
+			// Drift score: deviation from the pair's mean, measured
+			// against the larger of 3x its historical variability and
+			// half its mean; noise-scale pairs are ignored.
+			mean := a.loads + a.stores
+			delta := absf(float64(loads+stores) - mean)
+			if mean > 100 || float64(loads+stores) > 100 {
+				threshold := 3 * a.mad
+				if half := 0.5 * mean; half > threshold {
+					threshold = half
+				}
+				if threshold > 0 {
+					if score := delta / threshold; score > maxRelDev {
+						maxRelDev = score
+					}
+				}
+			}
+		}
+		if a.execs > 0 {
+			mean := a.loads + a.stores
+			delta := absf(float64(loads+stores) - mean)
+			a.mad += (delta - a.mad) / float64(a.execs)
+		}
+		a.execs++
+		m := float64(a.execs)
+		a.loads += (float64(loads) - a.loads) / m
+		a.stores += (float64(stores) - a.stores) / m
+		// Equation (1): accessed bytes over the active fraction of time.
+		bw := 0.0
+		if o.TimeShare > 0 && e.Duration > 0 {
+			bytes := float64(loads+stores) * 64
+			bw = bytes / (o.TimeShare * e.Duration)
+		}
+		a.bwCons += (bw - a.bwCons) / m
+
+		if o.Size > 0 {
+			ka := p.kindStats[e.Kind]
+			if ka == nil {
+				ka = &kindAccum{}
+				p.kindStats[e.Kind] = ka
+			}
+			ka.obsBytes += float64(o.Size)
+			ka.loads += float64(loads)
+			ka.stores += float64(stores)
+			ka.n++
+			ka.bwCons += (bw - ka.bwCons) / float64(ka.n)
+		}
+	}
+	return maxRelDev
+}
+
+// EstimateFor returns the profile for a (kind, object) pair, falling back
+// to the kind's per-byte traffic rates scaled by the object's size when
+// the exact pair has not been observed. The task annotations make the
+// fallback sound: same-kind tasks run the same code over same-shaped
+// regions, so traffic scales with region size to first order.
+func (p *Profiler) EstimateFor(kind string, obj task.ObjectID, size int64) (Estimate, bool) {
+	if est, ok := p.Estimate(kind, obj); ok {
+		return est, true
+	}
+	ka := p.kindStats[kind]
+	if ka == nil || ka.obsBytes <= 0 {
+		return Estimate{}, false
+	}
+	return Estimate{
+		Loads:  ka.loads / ka.obsBytes * float64(size),
+		Stores: ka.stores / ka.obsBytes * float64(size),
+		BWCons: ka.bwCons,
+	}, true
+}
+
+// Estimate returns the profile for a (kind, object) pair.
+func (p *Profiler) Estimate(kind string, obj task.ObjectID) (Estimate, bool) {
+	a, ok := p.stats[key{kind, obj}]
+	if !ok || a.execs == 0 {
+		return Estimate{}, false
+	}
+	return Estimate{Loads: a.loads, Stores: a.stores, BWCons: a.bwCons}, true
+}
+
+// Drift detection thresholds: a kind is stale only after DriftStreak
+// consecutive executions more than DriftFactor slower than its profiled
+// mean. Single slow runs are contention noise (a task sharing a device
+// with seven others takes several times its profiled duration); a
+// sustained shift is workload variation.
+const (
+	DriftFactor = 1.5
+	DriftStreak = 12
+)
+
+// ObserveDuration feeds a post-profiling execution's duration to the
+// drift detector. Runs that got *faster* never trigger — a successful
+// data placement makes tasks faster by design, and re-profiling on
+// improvement would thrash; instead the baseline eases toward the
+// improved steady state.
+func (p *Profiler) ObserveDuration(kind string, dur float64) (drifted bool) {
+	mean, ok := p.kindDur[kind]
+	if !ok || mean == 0 || !p.Profiled(kind) {
+		return false
+	}
+	if dur > DriftFactor*mean {
+		p.slow[kind]++
+		if p.slow[kind] >= DriftStreak {
+			p.MarkStale(kind)
+			return true
+		}
+		return false
+	}
+	p.slow[kind] = 0
+	if dur < mean {
+		p.kindDur[kind] = mean + (dur-mean)/8
+	}
+	return false
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MarkStale re-opens the profiling window for a kind.
+func (p *Profiler) MarkStale(kind string) {
+	p.stale[kind] = true
+	p.kindExecs[kind] = 0
+	p.kindDur[kind] = 0
+	p.slow[kind] = 0
+	delete(p.kindStats, kind)
+	for k := range p.stats {
+		if k.kind == kind {
+			delete(p.stats, k)
+		}
+	}
+}
+
+// Kinds returns the number of distinct task kinds observed.
+func (p *Profiler) Kinds() int { return len(p.kindExecs) }
+
+// MeanDuration returns the mean profiled execution time of a kind.
+func (p *Profiler) MeanDuration(kind string) (float64, bool) {
+	d, ok := p.kindDur[kind]
+	return d, ok && d > 0
+}

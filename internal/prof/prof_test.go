@@ -1,0 +1,225 @@
+package prof
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func exec(id task.TaskID, kind string, dur float64, loads, stores int64, share float64) Exec {
+	return Exec{
+		TaskID:   id,
+		Kind:     kind,
+		Duration: dur,
+		Obs:      []AccessObs{{Obj: 0, Loads: loads, Stores: stores, TimeShare: share}},
+	}
+}
+
+func TestProfilingWindow(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.Profiled("gemm") || p.Seen("gemm") {
+		t.Fatal("unseen kind reported profiled")
+	}
+	p.Record(exec(0, "gemm", 0.01, 1e6, 5e5, 0.8))
+	if p.Profiled("gemm") {
+		t.Fatal("one execution should not complete the window")
+	}
+	if !p.Seen("gemm") {
+		t.Fatal("kind not seen after record")
+	}
+	p.Record(exec(1, "gemm", 0.01, 1e6, 5e5, 0.8))
+	if !p.Profiled("gemm") {
+		t.Fatal("two executions should complete the window")
+	}
+}
+
+func TestSampledCountsNearTruthForLargeCounts(t *testing.T) {
+	p := New(DefaultConfig())
+	const trueLoads, trueStores = int64(10e6), int64(4e6)
+	p.Record(exec(0, "k", 0.05, trueLoads, trueStores, 0.9))
+	p.Record(exec(1, "k", 0.05, trueLoads, trueStores, 0.9))
+	est, ok := p.Estimate("k", 0)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	// The estimate reflects the systematic bias (0.92) within jitter.
+	if math.Abs(est.Loads-0.92*float64(trueLoads)) > 0.05*float64(trueLoads) {
+		t.Fatalf("loads estimate %g too far from %g", est.Loads, 0.92*float64(trueLoads))
+	}
+	if math.Abs(est.Stores-0.92*float64(trueStores)) > 0.05*float64(trueStores) {
+		t.Fatalf("stores estimate %g too far", est.Stores)
+	}
+	if est.Loads <= est.Stores {
+		t.Fatal("loads/stores distinction lost")
+	}
+}
+
+func TestBandwidthConsumptionEstimate(t *testing.T) {
+	// 1e6 loads + 0 stores over a 0.01 s task fully occupied by this
+	// object: ~64 MB / 0.01 s = 6.4 GB/s (times sampling bias).
+	p := New(DefaultConfig())
+	p.Record(exec(0, "k", 0.01, 1e6, 0, 1.0))
+	est, _ := p.Estimate("k", 0)
+	want := 0.92 * 1e6 * 64 / 0.01
+	if math.Abs(est.BWCons-want) > 0.1*want {
+		t.Fatalf("BWCons = %g, want about %g", est.BWCons, want)
+	}
+	// Same traffic but active only 10% of the time: 10x the consumption
+	// rate, per equation (1).
+	p2 := New(DefaultConfig())
+	p2.Record(exec(0, "k", 0.01, 1e6, 0, 0.1))
+	est2, _ := p2.Estimate("k", 0)
+	if est2.BWCons < 5*est.BWCons {
+		t.Fatalf("time-share scaling broken: %g vs %g", est2.BWCons, est.BWCons)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Estimate {
+		p := New(DefaultConfig())
+		p.Record(exec(7, "k", 0.02, 3e5, 2e5, 0.5))
+		e, _ := p.Estimate("k", 0)
+		return e
+	}
+	if run() != run() {
+		t.Fatal("profiler is not deterministic")
+	}
+}
+
+func TestSeedChangesNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	p1 := New(cfg)
+	cfg.Seed = 99
+	p2 := New(cfg)
+	p1.Record(exec(7, "k", 0.02, 3e5, 2e5, 0.5))
+	p2.Record(exec(7, "k", 0.02, 3e5, 2e5, 0.5))
+	e1, _ := p1.Estimate("k", 0)
+	e2, _ := p2.Estimate("k", 0)
+	if e1 == e2 {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Record(exec(0, "k", 0.010, 1e6, 0, 1))
+	p.Record(exec(1, "k", 0.010, 1e6, 0, 1))
+	if !p.Profiled("k") {
+		t.Fatal("not profiled")
+	}
+	if p.ObserveDuration("k", 0.0105) {
+		t.Fatal("5% deviation flagged as drift")
+	}
+	// A sustained 60% slowdown trips the detector after DriftStreak
+	// consecutive observations, not before.
+	for i := 0; i < DriftStreak-1; i++ {
+		if p.ObserveDuration("k", 0.016) {
+			t.Fatalf("drift flagged after only %d slow observations", i+1)
+		}
+	}
+	if !p.ObserveDuration("k", 0.016) {
+		t.Fatal("sustained slowdown not flagged")
+	}
+	if p.Profiled("k") {
+		t.Fatal("stale kind still reported profiled")
+	}
+	// Re-profiling restores the kind at the new baseline.
+	p.Record(exec(2, "k", 0.016, 1e6, 0, 1))
+	p.Record(exec(3, "k", 0.016, 1e6, 0, 1))
+	if !p.Profiled("k") {
+		t.Fatal("kind not restored after re-profiling")
+	}
+	if p.ObserveDuration("k", 0.016) {
+		t.Fatal("re-profiled mean not updated")
+	}
+}
+
+func TestDriftStreakResetsOnFastRun(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Record(exec(0, "k", 0.010, 1e6, 0, 1))
+	p.Record(exec(1, "k", 0.010, 1e6, 0, 1))
+	// Alternating slow and fast runs never accumulate a streak.
+	for i := 0; i < 4*DriftStreak; i++ {
+		dur := 0.016
+		if i%3 == 2 {
+			dur = 0.010
+		}
+		if p.ObserveDuration("k", dur) {
+			t.Fatal("noisy durations flagged as drift")
+		}
+	}
+}
+
+func TestFasterRunsNeverDrift(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Record(exec(0, "k", 0.010, 1e6, 0, 1))
+	p.Record(exec(1, "k", 0.010, 1e6, 0, 1))
+	for i := 0; i < 4*DriftStreak; i++ {
+		if p.ObserveDuration("k", 0.002) {
+			t.Fatal("improvement flagged as drift")
+		}
+	}
+	// The baseline eased toward the improvement, so a return to the old
+	// duration is eventually a slowdown relative to the new steady state.
+	mean, _ := p.MeanDuration("k")
+	if mean >= 0.010 {
+		t.Fatal("baseline did not ease toward the improved duration")
+	}
+}
+
+func TestZeroAndSmallCounts(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Record(exec(0, "k", 0.01, 0, 0, 0))
+	est, ok := p.Estimate("k", 0)
+	if !ok {
+		t.Fatal("no estimate recorded")
+	}
+	if est.Loads != 0 || est.Stores != 0 || est.BWCons != 0 {
+		t.Fatalf("zero traffic produced estimate %+v", est)
+	}
+}
+
+func TestEstimateUnknown(t *testing.T) {
+	p := New(DefaultConfig())
+	if _, ok := p.Estimate("nope", 3); ok {
+		t.Fatal("estimate for unknown kind")
+	}
+}
+
+func TestSampleCountNonNegativeProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	check := func(n int64, seed uint64) bool {
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 40
+		cfg.Seed = seed
+		got := cfg.sampleCount(n, splitmix64(seed))
+		if got < 0 {
+			return false
+		}
+		// Large counts stay within 2x of the biased truth.
+		if n > 1_000_000 {
+			biased := float64(n) * cfg.Bias
+			if math.Abs(float64(got)-biased) > 0.5*biased {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKinds(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Record(exec(0, "a", 0.01, 1, 1, 1))
+	p.Record(exec(1, "b", 0.01, 1, 1, 1))
+	p.Record(exec(2, "a", 0.01, 1, 1, 1))
+	if p.Kinds() != 2 {
+		t.Fatalf("Kinds = %d, want 2", p.Kinds())
+	}
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results the way the paper presents
+// them: aligned text tables of normalized performance (plus CSV for
+// plotting), with per-table notes carrying the experiment's parameters.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: the rows of a paper table, or the
+// series of a paper figure rendered as rows.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// New returns an empty table.
+func New(id, title string, columns ...string) *Table {
+	return &Table{ID: id, Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form annotation printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// CSV writes the table in comma-separated form (quoting commas).
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(c))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(cell))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Norm formats v normalized to base, paper-style: "1.23".
+func Norm(v, base float64) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", v/base)
+}
+
+// Sec formats a duration in seconds with ms precision.
+func Sec(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// MB formats a byte count in binary megabytes.
+func MB(v int64) string { return fmt.Sprintf("%d", v>>20) }
+
+// Int formats an integer.
+func Int(v int) string { return fmt.Sprintf("%d", v) }
+
+// F formats a float with three significant decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("E1", "Slowdown vs bandwidth", "Workload", "1/2 BW", "1/4 BW")
+	t.AddRow("cg", "1.20", "1.45")
+	t.AddRow("lu", "2.19", "3.82")
+	t.Note("normalized to DRAM-only")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E1 — Slowdown vs bandwidth") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "note: normalized to DRAM-only") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header columns align with row cells.
+	hdr := lines[1]
+	if !strings.HasPrefix(hdr, "Workload") {
+		t.Fatalf("header line: %q", hdr)
+	}
+	col := strings.Index(hdr, "1/2 BW")
+	row := lines[3]
+	if row[col] != '1' {
+		t.Fatalf("misaligned column:\n%s", out)
+	}
+}
+
+func TestRenderPadsShortRows(t *testing.T) {
+	tb := New("X", "t", "a", "b")
+	tb.AddRow("only")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "Workload,1/2 BW,1/4 BW\ncg,1.20,1.45\nlu,2.19,3.82\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("X", "t", "a")
+	tb.AddRow(`va"l,ue`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"va""l,ue"`) {
+		t.Fatalf("csv escaping: %q", b.String())
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Norm(2, 1) != "2.00" || Norm(1, 0) != "n/a" {
+		t.Fatal("Norm")
+	}
+	if Sec(0.12345) != "0.1234" && Sec(0.12345) != "0.1235" {
+		t.Fatalf("Sec = %q", Sec(0.12345))
+	}
+	if Pct(0.345) != "34.5%" {
+		t.Fatalf("Pct = %q", Pct(0.345))
+	}
+	if MB(3<<20) != "3" {
+		t.Fatal("MB")
+	}
+	if Int(7) != "7" {
+		t.Fatal("Int")
+	}
+	if F(1.23456) != "1.235" {
+		t.Fatal("F")
+	}
+}

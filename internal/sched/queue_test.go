@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/task"
+)
+
+func mk(n int) []*task.Task {
+	ts := make([]*task.Task, n)
+	for i := range ts {
+		ts[i] = &task.Task{ID: task.TaskID(i), Kind: "k"}
+	}
+	return ts
+}
+
+func drain(q Queue, worker int) []task.TaskID {
+	var ids []task.TaskID
+	for {
+		t, ok := q.Pop(worker)
+		if !ok {
+			return ids
+		}
+		ids = append(ids, t.ID)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	for _, tk := range mk(4) {
+		q.Push(tk, 0)
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	got := drain(q, 0)
+	for i, id := range got {
+		if id != task.TaskID(i) {
+			t.Fatalf("FIFO order = %v", got)
+		}
+	}
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	q := NewLIFO()
+	for _, tk := range mk(4) {
+		q.Push(tk, 0)
+	}
+	got := drain(q, 0)
+	for i, id := range got {
+		if id != task.TaskID(3-i) {
+			t.Fatalf("LIFO order = %v", got)
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	scores := map[task.TaskID]float64{0: 1, 1: 9, 2: 5, 3: 9}
+	q := NewPriority(func(tk *task.Task) float64 { return scores[tk.ID] })
+	for _, tk := range mk(4) {
+		q.Push(tk, 0)
+	}
+	got := drain(q, 0)
+	// Score desc, ties by ID asc: 1, 3, 2, 0.
+	want := []task.TaskID{1, 3, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWorkStealOwnDequeLIFO(t *testing.T) {
+	q := NewWorkSteal(2)
+	ts := mk(3)
+	for _, tk := range ts {
+		q.Push(tk, 0)
+	}
+	// Owner pops its own deque newest-first.
+	if tk, _ := q.Pop(0); tk.ID != 2 {
+		t.Fatalf("own pop = %d, want 2", tk.ID)
+	}
+	// A thief steals oldest-first.
+	if tk, _ := q.Pop(1); tk.ID != 0 {
+		t.Fatalf("steal = %d, want 0", tk.ID)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestWorkStealRoundRobinRoots(t *testing.T) {
+	q := NewWorkSteal(2)
+	ts := mk(4)
+	for _, tk := range ts {
+		q.Push(tk, -1) // roots
+	}
+	// Roots alternate deques: worker 0 holds {0, 2}, worker 1 holds {1, 3}.
+	if tk, _ := q.Pop(0); tk.ID != 2 {
+		t.Fatalf("worker 0 pop = %d, want 2", tk.ID)
+	}
+	if tk, _ := q.Pop(1); tk.ID != 3 {
+		t.Fatalf("worker 1 pop = %d, want 3", tk.ID)
+	}
+}
+
+func TestWorkStealEmpty(t *testing.T) {
+	q := NewWorkSteal(3)
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("pop from empty deques succeeded")
+	}
+	// Out-of-range workers clamp rather than panic.
+	q.Push(mk(1)[0], 99)
+	if tk, ok := q.Pop(-5); !ok || tk.ID != 0 {
+		t.Fatal("out-of-range worker handling broken")
+	}
+}
+
+func TestUpwardRank(t *testing.T) {
+	b := task.NewBuilder("chain")
+	a := b.Object("A", 64)
+	c := b.Object("B", 64)
+	b.Submit("t0", 3, []task.Access{{Obj: a, Mode: task.Out, Stores: 1, MLP: 1}}, nil)
+	b.Submit("t1", 2, []task.Access{{Obj: a, Mode: task.In, Loads: 1, MLP: 1}, {Obj: c, Mode: task.Out, Stores: 1, MLP: 1}}, nil)
+	b.Submit("t2", 1, []task.Access{{Obj: c, Mode: task.In, Loads: 1, MLP: 1}}, nil)
+	g := b.Build()
+	rank := UpwardRank(g, func(tk *task.Task) float64 { return tk.CPUSec })
+	// Upward ranks along the chain: 6, 3, 1.
+	if rank[0] != 6 || rank[1] != 3 || rank[2] != 1 {
+		t.Fatalf("ranks = %v", rank)
+	}
+	// Dispatching by rank puts earlier chain tasks first.
+	if !(rank[0] > rank[1] && rank[1] > rank[2]) {
+		t.Fatal("rank ordering violated")
+	}
+}

@@ -1,0 +1,422 @@
+// Package sim implements a deterministic fluid discrete-event simulator
+// used as the timing substrate of the heterogeneous-memory experiments.
+//
+// The model: work is expressed as flows. A flow passes through a sequence
+// of stages; a stage is either a fixed duration (CPU work, or latency-bound
+// memory time, which does not contend) or a byte demand on a shared
+// resource (a memory device's bandwidth, or the DRAM<->NVM copy channel).
+// All flows in a shared stage on the same resource divide its bandwidth in
+// proportion to their weights (processor sharing), which reproduces the
+// first-order contention behaviour of memory buses: one streaming task gets
+// peak bandwidth, eight streaming tasks get one eighth each.
+//
+// This is the same envelope the DRAM-throttling NVM emulators used by the
+// paper enforce (aggregate latency and bandwidth ceilings), made
+// deterministic: no wall-clock time, no goroutine scheduling, stable event
+// ordering. Between events all rates are constant, so the engine advances
+// the virtual clock directly to the next completion.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource is a bandwidth pool shared processor-style by the flows whose
+// current stage demands it.
+type Resource struct {
+	name string
+	bw   float64 // bytes per second
+
+	// active flows currently in a shared stage on this resource.
+	active map[*Flow]struct{}
+	// totalWeight caches the sum of active flow weights.
+	totalWeight float64
+	// busySec accumulates time with at least one active flow.
+	busySec float64
+	// servedBytes accumulates delivered bytes.
+	servedBytes float64
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Bandwidth returns the resource's total bandwidth in bytes/second.
+func (r *Resource) Bandwidth() float64 { return r.bw }
+
+// Load returns the number of flows currently sharing the resource.
+func (r *Resource) Load() int { return len(r.active) }
+
+// BusySec returns the accumulated time the resource had work.
+func (r *Resource) BusySec() float64 { return r.busySec }
+
+// ServedBytes returns the total bytes the resource delivered.
+func (r *Resource) ServedBytes() float64 { return r.servedBytes }
+
+// Utilization returns delivered bytes over capacity for an interval:
+// the fraction of the resource's potential the flows consumed.
+func (r *Resource) Utilization(interval float64) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	u := r.servedBytes / (r.bw * interval)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Stage is one step of a flow's lifetime.
+// Exactly one of the two kinds applies:
+//   - Fixed > 0 (or Res == nil): a fixed duration of Fixed seconds.
+//   - Res != nil: a demand of Bytes on the shared resource Res.
+//
+// MaxRate, when positive, caps the flow's service rate on the resource:
+// it models a latency floor — a dependent-access stream cannot consume
+// bandwidth faster than its memory-level parallelism allows, no matter
+// how idle the device is. Capped flows below their fair share return the
+// residual bandwidth to the others (waterfilling).
+type Stage struct {
+	Fixed   float64   // seconds; used when Res is nil
+	Res     *Resource // shared resource; nil for fixed stages
+	Bytes   float64   // byte demand on Res
+	Weight  float64   // bandwidth share weight; 0 means 1
+	MaxRate float64   // per-flow rate cap in bytes/second; 0 means none
+}
+
+// Flow is a unit of simulated work: a task execution, a data migration, or
+// a synthetic calibration stream.
+type Flow struct {
+	Label  string
+	Stages []Stage
+	// OnDone runs at the virtual time the flow completes. It may start new
+	// flows and timers on the engine.
+	OnDone func(now float64)
+
+	id      int
+	stage   int
+	remain  float64 // bytes remaining in current shared stage
+	fixedAt float64 // absolute completion time of current fixed stage
+	nextAt  float64 // scratch: completion time at current rates
+	curRate float64 // scratch: allocated rate this event round
+	started float64
+	done    bool
+}
+
+// Start returns the virtual time at which the flow started.
+func (f *Flow) Start() float64 { return f.started }
+
+// timer is a scheduled callback.
+type timer struct {
+	at  float64
+	seq int
+	fn  func(now float64)
+}
+
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+func (h timerHeap) peek() (timer, bool) {
+	if len(h) == 0 {
+		return timer{}, false
+	}
+	return h[0], true
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+const (
+	// EvStart records a flow entering the system.
+	EvStart EventKind = iota
+	// EvDone records a flow completing its last stage.
+	EvDone
+)
+
+// Event is one entry of the engine's optional trace.
+type Event struct {
+	Kind  EventKind
+	Time  float64
+	Label string
+}
+
+// Engine owns the virtual clock, the resources, and the active flows.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now       float64
+	flows     map[*Flow]struct{}
+	resources []*Resource
+	timers    timerHeap
+	timerSeq  int
+	nextID    int
+
+	// Trace, if non-nil, receives start and completion events.
+	Trace func(Event)
+
+	running bool
+	steps   int64
+}
+
+// NewEngine returns an empty engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{flows: make(map[*Flow]struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Steps returns the number of discrete events processed so far.
+func (e *Engine) Steps() int64 { return e.steps }
+
+// AddResource registers a shared bandwidth pool.
+func (e *Engine) AddResource(name string, bw float64) *Resource {
+	if bw <= 0 {
+		panic(fmt.Sprintf("sim: resource %q with non-positive bandwidth %g", name, bw))
+	}
+	r := &Resource{name: name, bw: bw, active: make(map[*Flow]struct{})}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+// At schedules fn to run at virtual time t (clamped to now if in the past).
+func (e *Engine) At(t float64, fn func(now float64)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.timerSeq++
+	heap.Push(&e.timers, timer{at: t, seq: e.timerSeq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func(now float64)) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// StartFlow admits a flow. Empty flows complete at the current time (their
+// OnDone still runs, via a zero-delay timer, preserving event ordering).
+func (e *Engine) StartFlow(f *Flow) {
+	if f.done {
+		panic("sim: reusing a completed Flow")
+	}
+	e.nextID++
+	f.id = e.nextID
+	f.started = e.now
+	f.stage = -1
+	e.flows[f] = struct{}{}
+	if e.Trace != nil {
+		e.Trace(Event{Kind: EvStart, Time: e.now, Label: f.Label})
+	}
+	e.advanceStage(f)
+}
+
+// advanceStage moves f into its next stage, completing it if none remain.
+func (e *Engine) advanceStage(f *Flow) {
+	// Leave the previous shared stage, if any.
+	if f.stage >= 0 && f.stage < len(f.Stages) {
+		st := &f.Stages[f.stage]
+		if st.Res != nil {
+			delete(st.Res.active, f)
+			st.Res.totalWeight -= stageWeight(st)
+		}
+	}
+	for {
+		f.stage++
+		if f.stage >= len(f.Stages) {
+			f.done = true
+			delete(e.flows, f)
+			if e.Trace != nil {
+				e.Trace(Event{Kind: EvDone, Time: e.now, Label: f.Label})
+			}
+			if f.OnDone != nil {
+				f.OnDone(e.now)
+			}
+			return
+		}
+		st := &f.Stages[f.stage]
+		if st.Res != nil {
+			if st.Bytes <= 0 {
+				continue // empty shared stage
+			}
+			st.Res.active[f] = struct{}{}
+			st.Res.totalWeight += stageWeight(st)
+			f.remain = st.Bytes
+			return
+		}
+		if st.Fixed <= 0 {
+			continue // empty fixed stage
+		}
+		f.fixedAt = e.now + st.Fixed
+		return
+	}
+}
+
+func stageWeight(st *Stage) float64 {
+	if st.Weight > 0 {
+		return st.Weight
+	}
+	return 1
+}
+
+// computeRates allocates each active flow's service rate: weighted
+// processor sharing with per-flow caps, waterfilled so bandwidth a
+// capped flow cannot use is redistributed to the uncapped ones.
+func (e *Engine) computeRates() {
+	var scratch []*Flow
+	for _, r := range e.resources {
+		if len(r.active) == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		for f := range r.active {
+			scratch = append(scratch, f)
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].id < scratch[j].id })
+
+		remBW := r.bw
+		remW := 0.0
+		for _, f := range scratch {
+			remW += stageWeight(&f.Stages[f.stage])
+			f.curRate = -1
+		}
+		// Iteratively pin flows whose cap is below their fair share.
+		for {
+			if remW <= 0 {
+				break
+			}
+			fair := remBW / remW
+			progress := false
+			for _, f := range scratch {
+				if f.curRate >= 0 {
+					continue
+				}
+				st := &f.Stages[f.stage]
+				w := stageWeight(st)
+				if st.MaxRate > 0 && st.MaxRate < fair*w {
+					f.curRate = st.MaxRate
+					remBW -= st.MaxRate
+					remW -= w
+					progress = true
+				}
+			}
+			if !progress {
+				for _, f := range scratch {
+					if f.curRate < 0 {
+						f.curRate = fair * stageWeight(&f.Stages[f.stage])
+					}
+				}
+				break
+			}
+		}
+		// Numerical guard: a rate of zero would stall the simulation.
+		for _, f := range scratch {
+			if f.curRate <= 0 {
+				f.curRate = r.bw * 1e-12
+			}
+		}
+	}
+}
+
+// eps is the relative tolerance for simultaneous-event detection.
+const eps = 1e-9
+
+// Run processes events until no flows are active and no timers remain.
+// It returns the final virtual time.
+func (e *Engine) Run() float64 {
+	if e.running {
+		panic("sim: Engine.Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		// Fire all timers due now (they may start flows at the current time).
+		for {
+			t, ok := e.timers.peek()
+			if !ok || t.at > e.now+math.Max(1e-18, e.now*eps) {
+				break
+			}
+			heap.Pop(&e.timers)
+			t.fn(e.now)
+		}
+
+		if len(e.flows) == 0 {
+			t, ok := e.timers.peek()
+			if !ok {
+				return e.now
+			}
+			e.now = t.at
+			continue
+		}
+
+		// Find the earliest completion among fixed stages, shared stages at
+		// current rates, and timers.
+		e.computeRates()
+		next := math.Inf(1)
+		for f := range e.flows {
+			st := &f.Stages[f.stage]
+			if st.Res != nil {
+				f.nextAt = e.now + f.remain/f.curRate
+			} else {
+				f.nextAt = f.fixedAt
+			}
+			if f.nextAt < next {
+				next = f.nextAt
+			}
+		}
+		if t, ok := e.timers.peek(); ok && t.at < next {
+			next = t.at
+		}
+		if math.IsInf(next, 1) {
+			panic("sim: active flows but no next event")
+		}
+		dt := next - e.now
+		if dt < 0 {
+			dt = 0
+		}
+
+		// Drain all shared stages by dt at the pre-advance rates, and
+		// collect the flows whose completion lands at `next` (within
+		// tolerance; simultaneous completions are processed together).
+		tol := math.Max(1e-18, next*eps)
+		var finished []*Flow
+		for _, r := range e.resources {
+			if len(r.active) > 0 {
+				r.busySec += dt
+			}
+		}
+		for f := range e.flows {
+			if f.Stages[f.stage].Res != nil {
+				served := f.curRate * dt
+				f.remain -= served
+				f.Stages[f.stage].Res.servedBytes += served
+			}
+			if f.nextAt <= next+tol {
+				finished = append(finished, f)
+			}
+		}
+		e.now = next
+		e.steps++
+
+		// Deterministic completion order.
+		sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+		for _, f := range finished {
+			if !f.done {
+				e.advanceStage(f)
+			}
+		}
+	}
+}

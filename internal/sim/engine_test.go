@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestFixedStageDuration(t *testing.T) {
+	e := NewEngine()
+	var doneAt float64
+	e.StartFlow(&Flow{
+		Label:  "fixed",
+		Stages: []Stage{{Fixed: 2.5}},
+		OnDone: func(now float64) { doneAt = now },
+	})
+	end := e.Run()
+	approx(t, doneAt, 2.5, 1e-12, "fixed flow completion")
+	approx(t, end, 2.5, 1e-12, "engine end time")
+}
+
+func TestSharedStageAlone(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9) // 1 GB/s
+	var doneAt float64
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Res: r, Bytes: 5e8}},
+		OnDone: func(now float64) { doneAt = now },
+	})
+	e.Run()
+	approx(t, doneAt, 0.5, 1e-9, "single shared flow")
+}
+
+func TestEqualSharing(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var a, b float64
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}, OnDone: func(now float64) { a = now }})
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}, OnDone: func(now float64) { b = now }})
+	e.Run()
+	// Two equal flows on a shared resource each see half bandwidth.
+	approx(t, a, 2.0, 1e-9, "flow a under equal sharing")
+	approx(t, b, 2.0, 1e-9, "flow b under equal sharing")
+}
+
+func TestStaggeredProcessorSharing(t *testing.T) {
+	// A starts at 0 with 1 GB; B starts at 0.5 s with 1 GB; resource 1 GB/s.
+	// A: 0.5 GB alone, then 0.5 GB at half rate -> done at 1.5 s.
+	// B: 0.5 GB at half rate by 1.5 s, then 0.5 GB alone -> done at 2.0 s.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var a, b float64
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}, OnDone: func(now float64) { a = now }})
+	e.At(0.5, func(now float64) {
+		e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}, OnDone: func(now float64) { b = now }})
+	})
+	e.Run()
+	approx(t, a, 1.5, 1e-9, "staggered flow a")
+	approx(t, b, 2.0, 1e-9, "staggered flow b")
+}
+
+func TestWeightedSharing(t *testing.T) {
+	// Weight-3 flow vs weight-1 flow, same bytes: the heavy flow gets 3/4
+	// of the bandwidth until it finishes.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var heavy, light float64
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 3e8, Weight: 3}}, OnDone: func(now float64) { heavy = now }})
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 3e8, Weight: 1}}, OnDone: func(now float64) { light = now }})
+	e.Run()
+	// heavy: 3e8 at 7.5e8/s -> 0.4 s. light: 0.4*2.5e8=1e8 done, 2e8 left alone -> 0.6 s.
+	approx(t, heavy, 0.4, 1e-9, "heavy flow")
+	approx(t, light, 0.6, 1e-9, "light flow")
+}
+
+func TestMultiStageFlow(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 2e9)
+	var doneAt float64
+	e.StartFlow(&Flow{
+		Stages: []Stage{
+			{Fixed: 1.0},
+			{Res: r, Bytes: 1e9}, // 0.5 s alone
+			{Fixed: 0.25},
+		},
+		OnDone: func(now float64) { doneAt = now },
+	})
+	e.Run()
+	approx(t, doneAt, 1.75, 1e-9, "three-stage flow")
+}
+
+func TestEmptyStagesSkipped(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var doneAt = -1.0
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Fixed: 0}, {Res: r, Bytes: 0}, {Fixed: 0.5}},
+		OnDone: func(now float64) { doneAt = now },
+	})
+	e.Run()
+	approx(t, doneAt, 0.5, 1e-9, "empty stages contribute no time")
+}
+
+func TestZeroWorkFlowCompletesImmediately(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.StartFlow(&Flow{OnDone: func(now float64) {
+		if now != 0 {
+			t.Fatalf("zero-work flow completed at %g, want 0", now)
+		}
+		done = true
+	}})
+	e.Run()
+	if !done {
+		t.Fatal("zero-work flow never completed")
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(2, func(float64) { order = append(order, 2) })
+	e.At(1, func(float64) { order = append(order, 1) })
+	e.At(1, func(float64) { order = append(order, 11) }) // same time: insertion order
+	e.After(3, func(float64) { order = append(order, 3) })
+	end := e.Run()
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	approx(t, end, 3, 1e-12, "final time")
+}
+
+func TestCallbackSpawnsFlow(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var second float64
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Res: r, Bytes: 1e9}},
+		OnDone: func(now float64) {
+			e.StartFlow(&Flow{
+				Stages: []Stage{{Res: r, Bytes: 1e9}},
+				OnDone: func(now float64) { second = now },
+			})
+		},
+	})
+	e.Run()
+	approx(t, second, 2.0, 1e-9, "chained flows run back to back")
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Property: N flows all starting at time 0 on one resource finish
+	// (the last of them) at exactly totalBytes/bandwidth, regardless of
+	// how the bytes are distributed — processor sharing is work-conserving.
+	check := func(sizes []uint32) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		e := NewEngine()
+		const bw = 1e9
+		r := e.AddResource("dev", bw)
+		total := 0.0
+		for _, s := range sizes {
+			bytes := float64(s%1000+1) * 1e6
+			total += bytes
+			e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: bytes}}})
+		}
+		end := e.Run()
+		return math.Abs(end-total/bw) < 1e-6*(total/bw)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	run := func() []Event {
+		var events []Event
+		e := NewEngine()
+		e.Trace = func(ev Event) { events = append(events, ev) }
+		r := e.AddResource("dev", 1e9)
+		for i := 0; i < 10; i++ {
+			bytes := float64((i*37)%7+1) * 1e8
+			e.StartFlow(&Flow{Label: "f", Stages: []Stage{{Res: r, Bytes: bytes}}})
+		}
+		e.Run()
+		return events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResourceLoadAccounting(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}})
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}})
+	if r.Load() != 2 {
+		t.Fatalf("load = %d, want 2", r.Load())
+	}
+	e.Run()
+	if r.Load() != 0 {
+		t.Fatalf("load after run = %d, want 0", r.Load())
+	}
+}
+
+func TestAddResourcePanicsOnBadBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bandwidth")
+		}
+	}()
+	NewEngine().AddResource("bad", 0)
+}
+
+func TestRateCapSingleFlow(t *testing.T) {
+	// A capped flow cannot exceed its MaxRate even on an idle resource.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var done float64
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Res: r, Bytes: 1e8, MaxRate: 1e8}},
+		OnDone: func(now float64) { done = now },
+	})
+	e.Run()
+	approx(t, done, 1.0, 1e-9, "capped flow duration")
+}
+
+func TestWaterfillRedistributesCappedResidual(t *testing.T) {
+	// One capped flow (10% of bandwidth) and one uncapped: the uncapped
+	// flow gets the 90% residual, not a 50% fair share.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var capped, free float64
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Res: r, Bytes: 1e8, MaxRate: 1e8}},
+		OnDone: func(now float64) { capped = now },
+	})
+	e.StartFlow(&Flow{
+		Stages: []Stage{{Res: r, Bytes: 9e8}},
+		OnDone: func(now float64) { free = now },
+	})
+	e.Run()
+	approx(t, capped, 1.0, 1e-9, "capped flow")
+	approx(t, free, 1.0, 1e-9, "uncapped flow got the residual")
+}
+
+func TestCapAboveFairShareIsInert(t *testing.T) {
+	// A cap above the fair share changes nothing.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	var a, b float64
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9, MaxRate: 9e8}},
+		OnDone: func(now float64) { a = now }})
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}},
+		OnDone: func(now float64) { b = now }})
+	e.Run()
+	// Fair share is 5e8 each < the 9e8 cap: both behave uncapped.
+	approx(t, a, 2.0, 1e-9, "flow a")
+	approx(t, b, 2.0, 1e-9, "flow b")
+}
+
+func TestManyCappedFlowsUndersubscribed(t *testing.T) {
+	// Eight flows capped at 1/16 of bandwidth: the resource is
+	// undersubscribed, every flow runs at its cap.
+	e := NewEngine()
+	r := e.AddResource("dev", 1.6e9)
+	ends := make([]float64, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		e.StartFlow(&Flow{
+			Stages: []Stage{{Res: r, Bytes: 1e8, MaxRate: 1e8}},
+			OnDone: func(now float64) { ends[i] = now },
+		})
+	}
+	e.Run()
+	for i, end := range ends {
+		approx(t, end, 1.0, 1e-9, "capped flow "+string(rune('0'+i)))
+	}
+}
+
+func TestCapWorkConservationProperty(t *testing.T) {
+	// Property: with all flows capped, the makespan is at least
+	// max(totalBytes/bw, max_i bytes_i/cap_i) and the engine terminates.
+	check := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 16 {
+			return true
+		}
+		e := NewEngine()
+		const bw = 1e9
+		r := e.AddResource("dev", bw)
+		var total float64
+		var floor float64
+		for i, s := range sizes {
+			bytes := float64(s%512+1) * 1e6
+			cap := bw / float64(2+i%7)
+			total += bytes
+			if f := bytes / cap; f > floor {
+				floor = f
+			}
+			e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: bytes, MaxRate: cap}}})
+		}
+		end := e.Run()
+		lower := total / bw
+		if floor > lower {
+			lower = floor
+		}
+		return end >= lower*(1-1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	// 1 GB over 1 GB/s with a 0.5 s idle lead-in: busy 1 s of 1.5 s,
+	// utilization over the full run 2/3.
+	e.At(0.5, func(now float64) {
+		e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}})
+	})
+	end := e.Run()
+	approx(t, end, 1.5, 1e-9, "end time")
+	approx(t, r.BusySec(), 1.0, 1e-9, "busy time")
+	approx(t, r.ServedBytes(), 1e9, 1e-6, "served bytes")
+	approx(t, r.Utilization(end), 2.0/3.0, 1e-9, "utilization")
+	if r.Utilization(0) != 0 {
+		t.Fatal("zero-interval utilization")
+	}
+}
+
+func TestUtilizationCappedFlows(t *testing.T) {
+	// A capped flow leaves the resource underutilized: 1e8 bytes at a
+	// 1e8 cap on a 1e9 resource -> busy 1 s, utilization 10%.
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e8, MaxRate: 1e8}}})
+	end := e.Run()
+	approx(t, r.BusySec(), 1.0, 1e-9, "busy")
+	approx(t, r.Utilization(end), 0.1, 1e-9, "capped utilization")
+}

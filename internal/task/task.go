@@ -1,0 +1,143 @@
+// Package task defines the task-parallel programming model the runtime
+// manages: named data objects, tasks annotated with the objects they read
+// and write, and the dependence graph (DAG) inferred from those
+// annotations.
+//
+// This is the StarPU/OmpSs-style model the paper targets: because every
+// task declares its data footprint up front, the runtime knows — before a
+// task runs — exactly which objects it will touch, how often, and with what
+// access pattern. That knowledge is what enables object-grained placement
+// decisions and proactive, dependence-safe migration.
+package task
+
+import "fmt"
+
+// ObjectID identifies a data object within one graph.
+type ObjectID int
+
+// Object is an application data object (an array, a tile, a buffer) whose
+// placement the runtime manages.
+type Object struct {
+	ID   ObjectID
+	Name string
+	// Size in bytes.
+	Size int64
+	// Chunkable marks objects with regular (one-dimensional, affine)
+	// access that the runtime may split into chunks for fine-grained
+	// migration; the paper only partitions such objects.
+	Chunkable bool
+}
+
+// AccessMode declares a task's use of an object, OpenMP-task style.
+type AccessMode int
+
+const (
+	// In is read-only use.
+	In AccessMode = iota
+	// Out is write-only use (the task fully overwrites the object).
+	Out
+	// InOut is read-modify-write use.
+	InOut
+)
+
+// String returns "in", "out" or "inout".
+func (m AccessMode) String() string {
+	switch m {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("AccessMode(%d)", int(m))
+}
+
+// Access describes one task's use of one object.
+//
+// Loads and Stores are the task's main-memory traffic to the object in
+// cache-line-sized accesses (i.e., post-cache misses and write-backs), the
+// quantity hardware counters sample. MLP is the access stream's
+// memory-level parallelism: the average number of outstanding misses.
+// MLP near 1 means dependent accesses (pointer chasing) that are bound by
+// device latency; large MLP means independent streaming accesses bound by
+// device bandwidth. The classification of an object as latency- or
+// bandwidth-sensitive falls out of these three numbers and the device.
+type Access struct {
+	Obj    ObjectID
+	Mode   AccessMode
+	Loads  int64
+	Stores int64
+	MLP    float64
+}
+
+// TaskID identifies a task within one graph; IDs are dense and follow
+// submission order, which is also the program's sequential-elision order.
+type TaskID int
+
+// Task is one node of the dependence graph.
+type Task struct {
+	ID TaskID
+	// Kind groups tasks that execute the same code on same-shaped data
+	// (e.g. "gemm", "trsm"). Profiles are learned per kind and reused,
+	// mirroring the paper's amortization of profiling cost over the
+	// iterative structure of HPC programs.
+	Kind string
+	// Accesses is the declared data footprint.
+	Accesses []Access
+	// CPUSec is pure compute time (seconds) independent of memory devices.
+	CPUSec float64
+	// Run, if non-nil, executes the task's real kernel; used by tests and
+	// examples to validate numerical correctness alongside the simulation.
+	Run func()
+
+	// deps / succs are filled in by the Builder.
+	deps  []TaskID
+	succs []TaskID
+}
+
+// Deps returns the IDs of tasks that must complete before this one starts.
+func (t *Task) Deps() []TaskID { return t.deps }
+
+// Succs returns the IDs of tasks that depend on this one.
+func (t *Task) Succs() []TaskID { return t.succs }
+
+// Reads reports whether the task reads obj.
+func (t *Task) Reads(obj ObjectID) bool {
+	for _, a := range t.Accesses {
+		if a.Obj == obj && (a.Mode == In || a.Mode == InOut) {
+			return true
+		}
+	}
+	return false
+}
+
+// Writes reports whether the task writes obj.
+func (t *Task) Writes(obj ObjectID) bool {
+	for _, a := range t.Accesses {
+		if a.Obj == obj && (a.Mode == Out || a.Mode == InOut) {
+			return true
+		}
+	}
+	return false
+}
+
+// Touches reports whether the task accesses obj at all.
+func (t *Task) Touches(obj ObjectID) bool {
+	for _, a := range t.Accesses {
+		if a.Obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// TrueBytes returns the task's total main-memory traffic in bytes at a
+// given cache-line size, split into read and written bytes.
+func (t *Task) TrueBytes(cacheLine int64) (read, written int64) {
+	for _, a := range t.Accesses {
+		read += a.Loads * cacheLine
+		written += a.Stores * cacheLine
+	}
+	return read, written
+}

@@ -1,0 +1,284 @@
+// Package trace records what happened during a simulated run — task
+// executions, migrations, placement decisions — and computes the derived
+// views the evaluation's analysis needs: per-kind duration statistics,
+// device-residency timelines, migration timing, and a text timeline
+// renderer. The runtime emits events through the Recorder interface; a
+// nil recorder costs nothing.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// Kind tags an event.
+type Kind int
+
+const (
+	// TaskStart and TaskEnd bracket one task execution.
+	TaskStart Kind = iota
+	TaskEnd
+	// MigrationStart and MigrationEnd bracket one helper-thread copy.
+	MigrationStart
+	MigrationEnd
+	// Plan marks a placement decision.
+	Plan
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case TaskStart:
+		return "task-start"
+	case TaskEnd:
+		return "task-end"
+	case MigrationStart:
+		return "mig-start"
+	case MigrationEnd:
+		return "mig-end"
+	case Plan:
+		return "plan"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timeline entry.
+type Event struct {
+	Time float64
+	Kind Kind
+	// Task fields (TaskStart/TaskEnd).
+	Task     task.TaskID
+	TaskKind string
+	Worker   int
+	// Migration fields (MigrationStart/MigrationEnd).
+	Obj   task.ObjectID
+	Chunk int
+	To    mem.Tier
+	Bytes int64
+	// Plan fields.
+	Label string
+}
+
+// Trace is an in-memory event log. The zero value is ready to use.
+type Trace struct {
+	Events []Event
+}
+
+// Add appends one event.
+func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Duration returns the time of the last event.
+func (t *Trace) Duration() float64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	last := 0.0
+	for _, e := range t.Events {
+		if e.Time > last {
+			last = e.Time
+		}
+	}
+	return last
+}
+
+// KindStats summarizes the executions of one task kind.
+type KindStats struct {
+	Kind  string
+	Count int
+	Total float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the mean duration.
+func (k KindStats) Mean() float64 {
+	if k.Count == 0 {
+		return 0
+	}
+	return k.Total / float64(k.Count)
+}
+
+// ByKind aggregates task durations per kind, pairing starts with ends.
+func (t *Trace) ByKind() []KindStats {
+	open := map[task.TaskID]float64{}
+	agg := map[string]*KindStats{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case TaskStart:
+			open[e.Task] = e.Time
+		case TaskEnd:
+			start, ok := open[e.Task]
+			if !ok {
+				continue
+			}
+			delete(open, e.Task)
+			d := e.Time - start
+			s := agg[e.TaskKind]
+			if s == nil {
+				s = &KindStats{Kind: e.TaskKind, Min: d, Max: d}
+				agg[e.TaskKind] = s
+			}
+			s.Count++
+			s.Total += d
+			if d < s.Min {
+				s.Min = d
+			}
+			if d > s.Max {
+				s.Max = d
+			}
+		}
+	}
+	out := make([]KindStats, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// MigrationRecord is one completed copy.
+type MigrationRecord struct {
+	Start, End float64
+	Obj        task.ObjectID
+	Chunk      int
+	To         mem.Tier
+	Bytes      int64
+}
+
+// Migrations pairs migration starts with ends, in completion order.
+func (t *Trace) Migrations() []MigrationRecord {
+	type key struct {
+		obj   task.ObjectID
+		chunk int
+	}
+	open := map[key][]Event{}
+	var out []MigrationRecord
+	for _, e := range t.Events {
+		k := key{e.Obj, e.Chunk}
+		switch e.Kind {
+		case MigrationStart:
+			open[k] = append(open[k], e)
+		case MigrationEnd:
+			q := open[k]
+			if len(q) == 0 {
+				continue
+			}
+			s := q[0]
+			open[k] = q[1:]
+			out = append(out, MigrationRecord{
+				Start: s.Time, End: e.Time,
+				Obj: e.Obj, Chunk: e.Chunk, To: e.To, Bytes: e.Bytes,
+			})
+		}
+	}
+	return out
+}
+
+// Concurrency samples how many tasks ran at once: it returns the
+// time-weighted mean and the peak.
+func (t *Trace) Concurrency() (mean float64, peak int) {
+	type edge struct {
+		at    float64
+		delta int
+	}
+	var edges []edge
+	for _, e := range t.Events {
+		switch e.Kind {
+		case TaskStart:
+			edges = append(edges, edge{e.Time, +1})
+		case TaskEnd:
+			edges = append(edges, edge{e.Time, -1})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	cur, last := 0, 0.0
+	var area, end float64
+	for _, ed := range edges {
+		area += float64(cur) * (ed.at - last)
+		last = ed.at
+		cur += ed.delta
+		if cur > peak {
+			peak = cur
+		}
+		end = ed.at
+	}
+	if end > 0 {
+		mean = area / end
+	}
+	return mean, peak
+}
+
+// WriteCSV dumps the raw event log.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time,kind,task,taskKind,worker,obj,chunk,to,bytes,label"); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintf(w, "%.9f,%s,%d,%s,%d,%d,%d,%s,%d,%s\n",
+			e.Time, e.Kind, e.Task, e.TaskKind, e.Worker, e.Obj, e.Chunk, e.To, e.Bytes, e.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Timeline renders a coarse per-worker text gantt with the given number
+// of columns; '#' marks task execution, '.' idle, and the bottom row
+// marks migrations with 'm'.
+func (t *Trace) Timeline(w io.Writer, workers, cols int) error {
+	dur := t.Duration()
+	if dur <= 0 || cols <= 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	cell := dur / float64(cols)
+	rows := make([][]byte, workers+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	mark := func(row int, from, to float64, ch byte) {
+		lo := int(from / cell)
+		hi := int(to / cell)
+		if hi >= cols {
+			hi = cols - 1
+		}
+		for c := lo; c <= hi; c++ {
+			rows[row][c] = ch
+		}
+	}
+	open := map[task.TaskID]Event{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case TaskStart:
+			open[e.Task] = e
+		case TaskEnd:
+			s, ok := open[e.Task]
+			if ok && s.Worker >= 0 && s.Worker < workers {
+				mark(s.Worker, s.Time, e.Time, '#')
+			}
+			delete(open, e.Task)
+		}
+	}
+	for _, m := range t.Migrations() {
+		mark(workers, m.Start, m.End, 'm')
+	}
+	for i, row := range rows {
+		label := fmt.Sprintf("w%-2d", i)
+		if i == workers {
+			label = "mig"
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s|\n", label, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "      0%*s%.4fs\n", cols-6, "", dur)
+	return err
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.Add(Event{Time: 0, Kind: TaskStart, Task: task.TaskID(0), TaskKind: "a", Worker: 0})
+	t.Add(Event{Time: 0, Kind: TaskStart, Task: 1, TaskKind: "b", Worker: 1})
+	t.Add(Event{Time: 1, Kind: TaskEnd, Task: 0, TaskKind: "a", Worker: 0})
+	t.Add(Event{Time: 1, Kind: TaskStart, Task: 2, TaskKind: "a", Worker: 0})
+	t.Add(Event{Time: 2, Kind: TaskEnd, Task: 1, TaskKind: "b", Worker: 1})
+	t.Add(Event{Time: 4, Kind: TaskEnd, Task: 2, TaskKind: "a", Worker: 0})
+	t.Add(Event{Time: 0.5, Kind: MigrationStart, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20})
+	t.Add(Event{Time: 1.5, Kind: MigrationEnd, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20})
+	t.Add(Event{Time: 2, Kind: Plan, Label: "global"})
+	return t
+}
+
+func TestByKind(t *testing.T) {
+	stats := sample().ByKind()
+	if len(stats) != 2 {
+		t.Fatalf("kinds = %d", len(stats))
+	}
+	a := stats[0]
+	if a.Kind != "a" || a.Count != 2 || a.Min != 1 || a.Max != 3 {
+		t.Fatalf("a stats = %+v", a)
+	}
+	if math.Abs(a.Mean()-2) > 1e-12 {
+		t.Fatalf("a mean = %g", a.Mean())
+	}
+	b := stats[1]
+	if b.Kind != "b" || b.Count != 1 || b.Total != 2 {
+		t.Fatalf("b stats = %+v", b)
+	}
+}
+
+func TestMigrations(t *testing.T) {
+	migs := sample().Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("migrations = %d", len(migs))
+	}
+	m := migs[0]
+	if m.Start != 0.5 || m.End != 1.5 || m.Obj != 3 || m.Bytes != 1<<20 || m.To != mem.InDRAM {
+		t.Fatalf("migration = %+v", m)
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	mean, peak := sample().Concurrency()
+	// Tasks: [0,1] two running; [1,2] two running; [2,4] one running.
+	// Mean over [0,4] = (2+2+1+1)/4 = 1.5.
+	if peak != 2 {
+		t.Fatalf("peak = %d", peak)
+	}
+	if math.Abs(mean-1.5) > 1e-12 {
+		t.Fatalf("mean = %g", mean)
+	}
+}
+
+func TestDurationAndLen(t *testing.T) {
+	tr := sample()
+	if tr.Duration() != 4 {
+		t.Fatalf("duration = %g", tr.Duration())
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	var empty Trace
+	if empty.Duration() != 0 {
+		t.Fatal("empty duration")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "time,kind") {
+		t.Fatal("missing header")
+	}
+	if !strings.Contains(b.String(), "plan") || !strings.Contains(b.String(), "global") {
+		t.Fatal("plan event lost")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var b strings.Builder
+	if err := sample().Timeline(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "w0 ") || !strings.Contains(out, "mig |") {
+		t.Fatalf("timeline rows missing:\n%s", out)
+	}
+	// Worker 0 busy the whole run, worker 1 only the first half.
+	rows := strings.Split(out, "\n")
+	w0 := rows[0]
+	w1 := rows[1]
+	if strings.Count(w0, "#") <= strings.Count(w1, "#") {
+		t.Fatalf("w0 should be busier:\n%s", out)
+	}
+	if !strings.Contains(rows[2], "m") {
+		t.Fatalf("migration row empty:\n%s", out)
+	}
+	var empty Trace
+	b.Reset()
+	if err := empty.Timeline(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty trace") {
+		t.Fatal("empty trace rendering")
+	}
+}
+
+func TestUnmatchedEventsIgnored(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Time: 1, Kind: TaskEnd, Task: 9, TaskKind: "x"})
+	tr.Add(Event{Time: 1, Kind: MigrationEnd, Obj: 9})
+	if len(tr.ByKind()) != 0 || len(tr.Migrations()) != 0 {
+		t.Fatal("unmatched ends produced records")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{TaskStart, TaskEnd, MigrationStart, MigrationEnd, Plan} {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("missing name for %d", int(k))
+		}
+	}
+}

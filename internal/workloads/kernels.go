@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense tile kernels, row-major b×b float64, as used by the tiled
+// Cholesky, LU and SparseLU workloads. These are straightforward
+// reference implementations: the simulation substrate owns performance;
+// these own numerical correctness.
+
+// potrf factors an SPD tile in place into its lower Cholesky factor L
+// (the strict upper triangle is left untouched and ignored).
+func potrf(a []float64, b int) error {
+	for j := 0; j < b; j++ {
+		d := a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*b+k] * a[j*b+k]
+		}
+		if d <= 0 {
+			return fmt.Errorf("workloads: potrf: non-positive pivot %g at %d", d, j)
+		}
+		d = math.Sqrt(d)
+		a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			a[i*b+j] = s / d
+		}
+	}
+	return nil
+}
+
+// trsmRLT solves X·Lᵀ = A in place (right-side, lower-triangular,
+// transposed): the Cholesky panel update A[i][k] = A[i][k]·L[k][k]⁻ᵀ.
+func trsmRLT(l, a []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * l[j*b+k]
+			}
+			a[i*b+j] = s / l[j*b+j]
+		}
+	}
+}
+
+// syrkNT performs the symmetric rank-b update C -= A·Aᵀ (full tile; only
+// the lower triangle is meaningful for Cholesky but computing the full
+// tile keeps the kernel reusable).
+func syrkNT(a, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+}
+
+// gemmNT performs C -= A·Bᵀ.
+func gemmNT(a, bm, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * bm[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+}
+
+// gemmNN performs C -= A·B.
+func gemmNN(a, bm, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for k := 0; k < b; k++ {
+			aik := a[i*b+k]
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < b; j++ {
+				c[i*b+j] -= aik * bm[k*b+j]
+			}
+		}
+	}
+}
+
+// getrf factors a tile in place into L (unit lower) and U (upper),
+// without pivoting; callers must supply diagonally dominant tiles.
+func getrf(a []float64, b int) error {
+	for k := 0; k < b; k++ {
+		p := a[k*b+k]
+		if p == 0 {
+			return fmt.Errorf("workloads: getrf: zero pivot at %d", k)
+		}
+		for i := k + 1; i < b; i++ {
+			a[i*b+k] /= p
+			lik := a[i*b+k]
+			for j := k + 1; j < b; j++ {
+				a[i*b+j] -= lik * a[k*b+j]
+			}
+		}
+	}
+	return nil
+}
+
+// trsmLLN solves L·X = A in place (left-side, unit-lower L from getrf):
+// the LU row-panel update A[k][j] = L[k][k]⁻¹·A[k][j].
+func trsmLLN(l, a []float64, b int) {
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < i; k++ {
+				s -= l[i*b+k] * a[k*b+j]
+			}
+			a[i*b+j] = s // unit diagonal
+		}
+	}
+}
+
+// trsmRUN solves X·U = A in place (right-side, upper U from getrf):
+// the LU column-panel update A[i][k] = A[i][k]·U[k][k]⁻¹.
+func trsmRUN(u, a []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * u[k*b+j]
+			}
+			a[i*b+j] = s / u[j*b+j]
+		}
+	}
+}
+
+// rng is a tiny deterministic generator (xorshift64*) for matrix data;
+// workload construction must not depend on global random state.
+type rng uint64
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	r := rng(seed)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545f4914f6cdd1d
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// maxAbsDiff returns the largest elementwise difference.
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

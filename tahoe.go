@@ -1,0 +1,231 @@
+// Package tahoe is a runtime data manager for task-parallel programs on
+// non-volatile-memory-based heterogeneous memory systems (HMS) — a
+// from-scratch Go reproduction of the system line published at SC 2018
+// ("Runtime data management on non-volatile memory-based heterogeneous
+// memory for task-parallel programs").
+//
+// The library contains everything needed to reproduce the paper's
+// evaluation on a laptop, with the NVM hardware replaced by a
+// deterministic simulation substrate:
+//
+//   - a task-parallel programming model (tasks annotated with in/out/inout
+//     data accesses; dependences inferred; work-stealing scheduling), plus
+//     a real parallel executor for the numerical kernels;
+//   - a simulated DRAM+NVM machine with configurable, asymmetric
+//     bandwidth and latency, processor-shared bandwidth and per-stream
+//     latency floors;
+//   - the runtime under study: online counter-sampled profiling,
+//     bandwidth/latency sensitivity classification, benefit and
+//     migration-cost models with offline-calibrated constant factors,
+//     0-1-knapsack placement at global and per-task granularity, and
+//     dependence-safe proactive migration by a helper thread;
+//   - the baselines: DRAM-only, NVM-only, first-touch, offline-profiled
+//     static placement (X-Mem), hardware caching (Memory Mode), and a
+//     phase-based planner;
+//   - nine application workloads and two calibration microbenchmarks,
+//     each with analytic traffic models and real, verified kernels; and
+//   - the full experiment harness regenerating every table and figure of
+//     the evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	h := tahoe.NewHMS(tahoe.DRAM(), tahoe.NVMBandwidth(0.5), 128*tahoe.MB)
+//	cfg := tahoe.DefaultConfig(h)
+//	g, _ := tahoe.BuildWorkload("cholesky", tahoe.WorkloadParams{})
+//	res, err := tahoe.Run(g.Graph, cfg)
+package tahoe
+
+import (
+	"repro/internal/calib"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/mem"
+	"repro/internal/prof"
+	"repro/internal/report"
+	"repro/internal/task"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Re-exported machine model types and byte units.
+type (
+	// DeviceSpec describes one memory device's performance envelope.
+	DeviceSpec = mem.DeviceSpec
+	// HMS describes the heterogeneous memory system under test.
+	HMS = mem.HMS
+)
+
+// Byte sizes.
+const (
+	KB = mem.KB
+	MB = mem.MB
+	GB = mem.GB
+)
+
+// Device presets.
+var (
+	DRAM         = mem.DRAM
+	STTRAM       = mem.STTRAM
+	PCRAM        = mem.PCRAM
+	ReRAM        = mem.ReRAM
+	OptanePM     = mem.OptanePM
+	NVMBandwidth = mem.NVMBandwidth
+	NVMLatency   = mem.NVMLatency
+	NewHMS       = mem.NewHMS
+	DRAMOnlyHMS  = mem.DRAMOnly
+)
+
+// Runtime configuration and results.
+type (
+	// Config describes one run of the runtime.
+	Config = core.Config
+	// Policy selects the data-placement strategy.
+	Policy = core.Policy
+	// Scheduler selects the ready-queue discipline.
+	Scheduler = core.Scheduler
+	// Techniques toggles the ablatable pieces of the full system.
+	Techniques = core.Techniques
+	// Result summarizes one simulated run.
+	Result = core.Result
+	// ProfilerConfig controls the sampling emulation.
+	ProfilerConfig = prof.Config
+)
+
+// Placement policies.
+const (
+	NVMOnly    = core.NVMOnly
+	DRAMOnly   = core.DRAMOnly
+	FirstTouch = core.FirstTouch
+	XMem       = core.XMem
+	HWCache    = core.HWCache
+	PhaseBased = core.PhaseBased
+	Tahoe      = core.Tahoe
+)
+
+// Schedulers.
+const (
+	WorkSteal = core.WorkSteal
+	FIFOQueue = core.FIFOQueue
+	LIFOQueue = core.LIFOQueue
+	RankSched = core.RankSched
+)
+
+// DefaultConfig returns the full system configured for the given machine.
+var DefaultConfig = core.DefaultConfig
+
+// AllTechniques enables every runtime technique.
+var AllTechniques = core.AllTechniques
+
+// Run executes a task graph under a configuration on the simulated HMS.
+var Run = core.Run
+
+// Task-model types, for building custom workloads against the runtime.
+type (
+	// Graph is an immutable task DAG plus its data objects.
+	Graph = task.Graph
+	// GraphBuilder constructs a Graph from object declarations and task
+	// submissions, inferring dependences from access modes.
+	GraphBuilder = task.Builder
+	// Access declares one task's use of one object.
+	Access = task.Access
+	// AccessMode is in / out / inout.
+	AccessMode = task.AccessMode
+	// ObjectID names a data object within one graph.
+	ObjectID = task.ObjectID
+	// TaskID names a task within one graph.
+	TaskID = task.TaskID
+)
+
+// Access modes.
+const (
+	In    = task.In
+	Out   = task.Out
+	InOut = task.InOut
+)
+
+// NewGraphBuilder starts a new task graph.
+var NewGraphBuilder = task.NewBuilder
+
+// Workload construction.
+type (
+	// WorkloadParams sizes a benchmark instance.
+	WorkloadParams = workloads.Params
+	// Workload is a built benchmark: graph plus optional numerical check.
+	Workload = workloads.Built
+	// WorkloadSpec describes one registered benchmark.
+	WorkloadSpec = workloads.Spec
+)
+
+// Workloads returns every registered benchmark.
+var Workloads = workloads.All
+
+// AppWorkloads returns the application benchmarks (the ones in the main
+// experiment figures).
+var AppWorkloads = workloads.Apps
+
+// BuildWorkload constructs a named benchmark instance.
+func BuildWorkload(name string, p WorkloadParams) (Workload, error) {
+	s, err := workloads.ByName(name)
+	if err != nil {
+		return Workload{}, err
+	}
+	return s.Build(p), nil
+}
+
+// Execute runs a graph's real kernels on a parallel work-stealing pool
+// (real goroutines, real math — no simulation), honoring all dependences.
+func Execute(g *Graph, workers int) error {
+	return exec.NewPool(workers).Run(g)
+}
+
+// ExecuteLockFree is Execute on Chase-Lev lock-free deques.
+func ExecuteLockFree(g *Graph, workers int) error {
+	return exec.NewLockFreePool(workers).Run(g)
+}
+
+// Calibration.
+type (
+	// CalibrationFactors holds CF_bw, CF_lat and the measured peak
+	// bandwidth for a machine.
+	CalibrationFactors = calib.Factors
+)
+
+// Calibrate computes the model's constant factors for a machine, once per
+// (machine, sampling-config) pair.
+var Calibrate = calib.Calibrate
+
+// DefaultProfiler returns the paper-faithful sampling configuration.
+var DefaultProfiler = prof.DefaultConfig
+
+// Reporting.
+type (
+	// Table is an experiment's rendered output.
+	Table = report.Table
+	// Trace is an in-memory event log of one run (set Config.Trace).
+	Trace = trace.Trace
+	// TraceEvent is one timeline entry.
+	TraceEvent = trace.Event
+)
+
+// Multi-node strong scaling (the Edison experiments).
+type (
+	// ClusterConfig describes a strong-scaling job across nodes.
+	ClusterConfig = cluster.Config
+	// ClusterResult is one job's outcome.
+	ClusterResult = cluster.Result
+	// Network is the interconnect's first-order cost model.
+	Network = cluster.Network
+	// Distributed is a workload's strong-scaling decomposition.
+	Distributed = workloads.Distributed
+)
+
+// StrongScale runs a distributed workload at the configured scale.
+var StrongScale = cluster.StrongScale
+
+// EdisonNetwork approximates a Cray Aries-class interconnect.
+var EdisonNetwork = cluster.EdisonNetwork
+
+// DistributedWorkload returns a workload's strong-scaling decomposition
+// (heat and cg are supported).
+var DistributedWorkload = workloads.DistributedByName

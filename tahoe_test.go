@@ -1,0 +1,172 @@
+package tahoe
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	h := NewHMS(DRAM(), NVMBandwidth(0.5), 128*MB)
+	f, err := Calibrate(h, DefaultProfiler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CFBw <= 0 || f.CFLat <= 0 {
+		t.Fatalf("bad factors: %+v", f)
+	}
+	w, err := BuildWorkload("cg", WorkloadParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(h)
+	cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
+	res, err := Run(w.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 || res.Tasks != len(w.Graph.Tasks) {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPICustomGraph(t *testing.T) {
+	b := NewGraphBuilder("api")
+	x := b.Object("x", 64*MB)
+	y := b.Object("y", 64*MB)
+	n := int64(64 * MB / 64)
+	ran := 0
+	for i := 0; i < 20; i++ {
+		b.Submit("rw", 1e-4, []Access{
+			{Obj: x, Mode: In, Loads: n, MLP: 8},
+			{Obj: y, Mode: InOut, Loads: n / 4, Stores: n / 4, MLP: 4},
+		}, func() { ran++ })
+	}
+	g := b.Build()
+
+	// Real parallel execution.
+	if err := Execute(g, 4); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d of 20", ran)
+	}
+
+	// Simulated execution under the runtime.
+	h := NewHMS(DRAM(), PCRAM(), 64*MB)
+	cfg := DefaultConfig(h)
+	res, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 20 {
+		t.Fatalf("simulated %d tasks", res.Tasks)
+	}
+}
+
+func TestBuildWorkloadUnknown(t *testing.T) {
+	if _, err := BuildWorkload("no-such-thing", WorkloadParams{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("%d experiments registered, want 18", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"T1", "T2", "E1", "E4", "E7", "E12"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+	if _, err := ExperimentByID("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentTablesWellFormed(t *testing.T) {
+	// Quick instances of a representative subset; every row must have the
+	// declared number of columns and non-empty first cell.
+	for _, id := range []string{"T1", "T2", "E7", "E12", "E13", "E15", "E16"} {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(ExpOptions{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Fatalf("%s: row width %d != %d columns", id, len(row), len(tb.Columns))
+			}
+			if row[0] == "" {
+				t.Fatalf("%s: empty row label", id)
+			}
+		}
+		var sb strings.Builder
+		if err := tb.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), tb.ID) {
+			t.Fatalf("%s: render lost the ID", id)
+		}
+	}
+}
+
+func TestExperimentDeterminism(t *testing.T) {
+	run := func() string {
+		e, _ := ExperimentByID("E7")
+		tb, err := e.Run(ExpOptions{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tb.CSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if run() != run() {
+		t.Fatal("experiment output not deterministic")
+	}
+}
+
+// TestExperimentShapes asserts the qualitative results the reproduction
+// claims (the EXPERIMENTS.md contract), on quick instances.
+func TestExperimentShapes(t *testing.T) {
+	// E1: slowdown grows monotonically with bandwidth throttling for the
+	// bandwidth-bound workloads.
+	e, _ := ExperimentByID("E1")
+	tb, err := e.Run(ExpOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		var prev float64 = 0.99
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < prev-0.02 {
+				t.Fatalf("E1 %s: non-monotonic slowdown %v", row[0], row)
+			}
+			prev = v
+		}
+	}
+}
