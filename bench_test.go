@@ -88,6 +88,38 @@ func BenchmarkSimEngineContention(b *testing.B) {
 	}
 }
 
+// BenchmarkSimEngineManyFlows stresses the incremental-rate path: many
+// concurrent flows spread over several resources, caps on half of them,
+// so every completion dirties one resource while the rest stay clean.
+func BenchmarkSimEngineManyFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		res := make([]*sim.Resource, 8)
+		for r := range res {
+			res[r] = e.AddResource("dev", 1e9)
+		}
+		for f := 0; f < 256; f++ {
+			st := sim.Stage{Res: res[f%len(res)], Bytes: 1e6, Weight: float64(f%3 + 1)}
+			if f%2 == 0 {
+				st.MaxRate = 4e8
+			}
+			e.StartFlow(&sim.Flow{Stages: []sim.Stage{{Fixed: 1e-5}, st}})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkExperimentSuiteQuick regenerates the full evaluation (quick
+// instances) through the parallel harness — the headline wall-clock
+// number for the suite.
+func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RunAllExperiments(io.Discard, ExpOptions{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkKnapsackDP(b *testing.B) {
 	items := make([]placement.Item, 64)
 	for i := range items {

@@ -2,27 +2,39 @@
 //
 // Usage:
 //
-//	tahoe-bench            # run every experiment, print tables
-//	tahoe-bench -exp E4    # one experiment
-//	tahoe-bench -csv       # CSV instead of aligned text
-//	tahoe-bench -quick     # reduced instances
-//	tahoe-bench -list      # list experiment IDs
+//	tahoe-bench                # run every experiment, print tables
+//	tahoe-bench -exp E4        # one experiment
+//	tahoe-bench -csv           # CSV instead of aligned text
+//	tahoe-bench -quick         # reduced instances
+//	tahoe-bench -list          # list experiment IDs
+//	tahoe-bench -parallel 8    # experiment-cell worker pool (default GOMAXPROCS)
+//	tahoe-bench -cpuprofile f  # write a CPU profile of the run
+//	tahoe-bench -memprofile f  # write a heap profile at exit
+//
+// Tables are byte-identical at any -parallel setting: cells are
+// independent deterministic simulations and rows are assembled in
+// declaration order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	tahoe "repro"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment ID (empty = all)")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		quick = flag.Bool("quick", false, "reduced instances")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "experiment ID (empty = all)")
+		csv        = flag.Bool("csv", false, "emit CSV")
+		quick      = flag.Bool("quick", false, "reduced instances")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment-cell workers (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to `file`")
+		memprofile = flag.String("memprofile", "", "write heap profile to `file`")
 	)
 	flag.Parse()
 
@@ -33,7 +45,19 @@ func main() {
 		return
 	}
 
-	opt := tahoe.ExpOptions{Quick: *quick}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opt := tahoe.ExpOptions{Quick: *quick, ParallelCells: *parallel}
 	render := func(t *tahoe.Table) error {
 		if *csv {
 			return t.CSV(os.Stdout)
@@ -57,6 +81,7 @@ func main() {
 		if err := render(t); err != nil {
 			fail("%v", err)
 		}
+		writeMemProfile(*memprofile)
 		return
 	}
 
@@ -68,6 +93,23 @@ func main() {
 		if err := render(t); err != nil {
 			fail("%v", err)
 		}
+	}
+	writeMemProfile(*memprofile)
+}
+
+// writeMemProfile snapshots the live heap after the experiments have run.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("-memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fail("-memprofile: %v", err)
 	}
 }
 

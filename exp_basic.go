@@ -52,7 +52,9 @@ func expE1(opt ExpOptions) (*Table, error) {
 	t := report.New("E1", "NVM-only slowdown vs bandwidth (workers=1)",
 		"Workload", "DRAM", "1/2 BW", "1/4 BW", "1/8 BW")
 	fracs := []float64{0.5, 0.25, 0.125}
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		cfg := expConfig(hmsBW(0.5), core.DRAMOnly)
 		cfg.Workers = 1
@@ -63,8 +65,12 @@ func expE1(opt ExpOptions) (*Table, error) {
 			cfg.Workers = 1
 			row = append(row, report.Norm(mustRun(g, cfg).Time, base))
 		}
-		t.AddRow(row...)
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("expected shape: slowdown grows with throttling; streaming workloads suffer most")
 	return t, nil
 }
@@ -82,7 +88,8 @@ func expE2(opt ExpOptions) (*Table, error) {
 			apps = append(apps, s)
 		}
 	}
-	for _, s := range apps {
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		cfg := expConfig(hmsLat(2), core.DRAMOnly)
 		cfg.Workers = 1
@@ -93,8 +100,12 @@ func expE2(opt ExpOptions) (*Table, error) {
 			cfg.Workers = 1
 			row = append(row, report.Norm(mustRun(g, cfg).Time, base))
 		}
-		t.AddRow(row...)
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("expected shape: dependent-access workloads (pchase, gathers) scale with latency; streams do not")
 	return t, nil
 }
@@ -110,7 +121,8 @@ func expE3(opt ExpOptions) (*Table, error) {
 	if opt.Quick {
 		names = names[:1]
 	}
-	for _, name := range names {
+	rows, err := runCells(opt, len(names), func(i int) ([][]string, error) {
+		name := names[i]
 		s, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
@@ -132,7 +144,9 @@ func expE3(opt ExpOptions) (*Table, error) {
 			cfg.Workers = 1
 			nvm[i] = mustRun(g, cfg).Time
 		}
-		t.AddRow(name, "(all in NVM)", report.Norm(nvm[0], base[0]), report.Norm(nvm[1], base[1]))
+		var rows [][]string
+		rows = append(rows, []string{name, "(all in NVM)",
+			report.Norm(nvm[0], base[0]), report.Norm(nvm[1], base[1])})
 		for _, grp := range groups {
 			grp := grp
 			row := []string{name, grp + " in DRAM"}
@@ -147,9 +161,14 @@ func expE3(opt ExpOptions) (*Table, error) {
 				}
 				row = append(row, report.Norm(mustRun(g, cfg).Time, base[i]))
 			}
-			t.AddRow(row...)
+			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("a group that helps under 1/2 BW but not 4x LAT is bandwidth-sensitive, and vice versa")
 	return t, nil
 }

@@ -80,14 +80,20 @@ func expE14(opt ExpOptions) (*Table, error) {
 	t := report.New("E14", "Benefit-model accuracy per workload",
 		"Workload", "Pairs", "Median err", "P90 err", "Worst err")
 	h := hmsBW(0.5)
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		med, p90, worst, n := modelAccuracy(g, h)
 		if n == 0 {
-			continue
+			return nil, nil
 		}
-		t.AddRow(s.Name, report.Int(n), report.Pct(med), report.Pct(p90), report.Pct(worst))
+		return oneRow(s.Name, report.Int(n), report.Pct(med), report.Pct(p90), report.Pct(worst)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("error = |predicted - true| / true benefit per execution, over pairs with benefit > 1 µs; " +
 		"the calibrated constant factors absorb the sampling undercount")
 	return t, nil

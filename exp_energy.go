@@ -23,7 +23,9 @@ func expE15(opt ExpOptions) (*Table, error) {
 	t := report.New("E15", "Energy (J), normalized to DRAM-only, and EDP",
 		"Workload", "DRAM-only (J)", "NVM-only", "X-Mem", "Tahoe", "Tahoe static share", "EDP vs DRAM-only")
 	h := mem.NewHMS(mem.DRAM(), mem.STTRAM(), expDRAM)
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		run := func(p core.Policy) core.Result {
 			cfg := expConfig(h, p)
@@ -34,14 +36,18 @@ func expE15(opt ExpOptions) (*Table, error) {
 		nvm := run(core.NVMOnly)
 		xmem := run(core.XMem)
 		tahoe := run(core.Tahoe)
-		t.AddRow(s.Name,
+		return oneRow(s.Name,
 			fmt.Sprintf("%.3f", dram.EnergyJ),
 			report.Norm(nvm.EnergyJ, dram.EnergyJ),
 			report.Norm(xmem.EnergyJ, dram.EnergyJ),
 			report.Norm(tahoe.EnergyJ, dram.EnergyJ),
 			report.Pct(tahoe.EnergyStaticJ/tahoe.EnergyJ),
-			report.Norm(tahoe.EDP(), dram.EDP()))
+			report.Norm(tahoe.EDP(), dram.EDP())), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("energy = dynamic access energy + installed-capacity static power x makespan; "+
 		"both machines install the same capacity (>=1 GiB): all-DRAM vs %d MB DRAM + STT-RAM; "+
 		"memory-intensive workloads are dynamic-energy-dominated (NVM costs more per byte), "+

@@ -17,7 +17,9 @@ func mainComparison(id, title string, h HMS, opt ExpOptions) (*Table, error) {
 	t := report.New(id, title,
 		"Workload", "DRAM-only", "NVM-only", "HW-Cache", "FirstTouch", "X-Mem", "PhaseBased", "Tahoe")
 	policies := []core.Policy{core.NVMOnly, core.HWCache, core.FirstTouch, core.XMem, core.PhaseBased, core.Tahoe}
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		run := func(p core.Policy) float64 {
 			cfg := expConfig(h, p)
@@ -29,8 +31,12 @@ func mainComparison(id, title string, h HMS, opt ExpOptions) (*Table, error) {
 		for _, p := range policies {
 			row = append(row, report.Norm(run(p), base))
 		}
-		t.AddRow(row...)
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("normalized to DRAM-only; DRAM=%d MB, 1 worker per memory domain; expected: Tahoe within ~10%% of DRAM-only, ahead of X-Mem on shifting workloads", expDRAM>>20)
 	return t, nil
 }
@@ -56,7 +62,9 @@ func expE6(opt ExpOptions) (*Table, error) {
 		{GlobalSearch: true, LocalSearch: true, Chunking: true, Proactive: true, DistinguishRW: true},
 		{GlobalSearch: true, LocalSearch: true, Chunking: true, InitialPlacement: true, Proactive: true, DistinguishRW: true},
 	}
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		nvm := mustRun(g, expConfig(h, core.NVMOnly)).Time
 		times := make([]float64, len(variants))
@@ -78,8 +86,12 @@ func expE6(opt ExpOptions) (*Table, error) {
 			prev = ti
 		}
 		row = append(row, report.Norm(nvm, full)+"x")
-		t.AddRow(row...)
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("each column: share of the total improvement gained when the technique is added; negative shares mean the step cost time on that workload")
 	return t, nil
 }
@@ -90,18 +102,24 @@ func expE7(opt ExpOptions) (*Table, error) {
 	t := report.New("E7", "Migration details, Tahoe on 1/2-bandwidth NVM",
 		"Workload", "Migrations", "Moved (MB)", "Runtime cost", "Overlap", "Mem busy", "Replans", "Plan")
 	h := hmsBW(0.5)
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		r := mustRun(g, expConfig(h, core.Tahoe))
-		t.AddRow(s.Name,
+		return oneRow(s.Name,
 			report.Int(r.Migration.Migrations),
 			report.MB(r.Migration.BytesMoved),
 			report.Pct(r.OverheadFraction()),
 			report.Pct(r.Migration.OverlapFraction()),
 			report.Pct(r.MemBusyFrac),
 			report.Int(r.Replans),
-			r.PlanKind)
+			r.PlanKind), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("runtime cost = profiling + solver + helper-queue synchronization, as a share of makespan")
 	return t, nil
 }

@@ -33,18 +33,23 @@ func expE8(opt ExpOptions) (*Table, error) {
 	if opt.Quick {
 		counts = []int{1, 4, 16}
 	}
-	for _, w := range counts {
+	rows, err := runCells(opt, len(counts), func(i int) ([][]string, error) {
+		w := counts[i]
 		run := func(p core.Policy) float64 {
 			cfg := expConfig(h, p)
 			cfg.Workers = w
 			return mustRun(g, cfg).Time
 		}
 		base := run(core.DRAMOnly)
-		t.AddRow(report.Int(w), "1.00",
+		return oneRow(report.Int(w), "1.00",
 			report.Norm(run(core.Tahoe), base),
 			report.Norm(run(core.NVMOnly), base),
-			report.Sec(base))
+			report.Sec(base)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("expected shape: the NVM gap persists across scales; Tahoe tracks DRAM-only throughout")
 	return t, nil
 }
@@ -54,7 +59,9 @@ func expE9(opt ExpOptions) (*Table, error) {
 	t := report.New("E9", "Tahoe vs DRAM size (normalized to DRAM-only)",
 		"Workload", "NVM-only", "64 MB", "128 MB", "256 MB")
 	sizes := []int64{64 * mem.MB, 128 * mem.MB, 256 * mem.MB}
-	for _, s := range expApps(opt) {
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
 		g := buildApp(s, opt)
 		base := mustRun(g, expConfig(hmsBW(0.5), core.DRAMOnly)).Time
 		row := []string{s.Name,
@@ -63,8 +70,12 @@ func expE9(opt ExpOptions) (*Table, error) {
 			h := mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), sz)
 			row = append(row, report.Norm(mustRun(g, expConfig(h, core.Tahoe)).Time, base))
 		}
-		t.AddRow(row...)
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("expected shape: graceful degradation as DRAM shrinks; large-object workloads suffer most at 64 MB")
 	return t, nil
 }
@@ -80,7 +91,8 @@ func expE10(opt ExpOptions) (*Table, error) {
 	if opt.Quick {
 		names = []string{"cholesky", "heat", "cg"}
 	}
-	for _, name := range names {
+	rows, err := runCells(opt, len(names), func(i int) ([][]string, error) {
+		name := names[i]
 		s, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
@@ -89,13 +101,17 @@ func expE10(opt ExpOptions) (*Table, error) {
 		base := mustRun(g, expConfig(h, core.DRAMOnly)).Time
 		noRW := expConfig(h, core.Tahoe)
 		noRW.Tech.DistinguishRW = false
-		t.AddRow(name,
+		return oneRow(name,
 			report.Norm(mustRun(g, expConfig(h, core.NVMOnly)).Time, base),
 			report.Norm(mustRun(g, expConfig(h, core.HWCache)).Time, base),
 			report.Norm(mustRun(g, expConfig(h, core.XMem)).Time, base),
 			report.Norm(mustRun(g, noRW).Time, base),
-			report.Norm(mustRun(g, expConfig(h, core.Tahoe)).Time, base))
+			report.Norm(mustRun(g, expConfig(h, core.Tahoe)).Time, base)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("Optane: read 3.9 GB/s, write 1.3 GB/s, 300/150 ns; the r/w distinction shows on " +
 		"workloads with read/write-asymmetric objects (stream's pure-write a vs pure-read b, c); " +
 		"on symmetric-object workloads the two models tie, differing only in sampling-noise tie-breaks")
@@ -111,7 +127,8 @@ func expE11(opt ExpOptions) (*Table, error) {
 	if opt.Quick {
 		names = names[:1]
 	}
-	for _, name := range names {
+	rows, err := runCells(opt, len(names), func(i int) ([][]string, error) {
+		name := names[i]
 		s, err := workloads.ByName(name)
 		if err != nil {
 			return nil, err
@@ -123,11 +140,15 @@ func expE11(opt ExpOptions) (*Table, error) {
 			return mustRun(g, cfg).Time
 		}
 		base := run(core.WorkSteal)
-		t.AddRow(name, "1.00",
+		return oneRow(name, "1.00",
 			report.Norm(run(core.FIFOQueue), base),
 			report.Norm(run(core.LIFOQueue), base),
-			report.Norm(run(core.RankSched), base))
+			report.Norm(run(core.RankSched), base)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("placement quality is scheduler-sensitive only through profiling order and migration overlap windows")
 	return t, nil
 }
@@ -147,19 +168,22 @@ func expE12(opt ExpOptions) (*Table, error) {
 	if opt.Quick {
 		depths = []int{0, 8, 32}
 	}
-	base := 0.0
-	for i, d := range depths {
+	results, err := runCells(opt, len(depths), func(i int) (core.Result, error) {
+		d := depths[i]
 		cfg := expConfig(h, core.Tahoe)
 		cfg.Tech.GlobalSearch = false // isolate the per-task plan's machinery
 		cfg.Lookahead = d
 		if d == 0 {
 			cfg.Tech.Proactive = false
 		}
-		r := mustRun(g, cfg)
-		if i == 0 {
-			base = r.Time
-		}
-		t.AddRow(fmt.Sprintf("%d", d),
+		return mustRun(g, cfg), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].Time
+	for i, r := range results {
+		t.AddRow(fmt.Sprintf("%d", depths[i]),
 			report.Norm(r.Time, base),
 			report.Pct(r.Migration.OverlapFraction()),
 			report.Int(r.Migration.Migrations))
@@ -191,7 +215,8 @@ func expE16(opt ExpOptions) (*Table, error) {
 	base := mustRun(g, expConfig(h, core.DRAMOnly)).Time
 	targets := []int64{0, 64 * mem.MB, 32 * mem.MB, 16 * mem.MB, 8 * mem.MB, 4 * mem.MB}
 	labels := []string{"off", "64 MB", "32 MB", "16 MB", "8 MB", "4 MB"}
-	for i, tgt := range targets {
+	rows, err := runCells(opt, len(targets), func(i int) ([][]string, error) {
+		tgt := targets[i]
 		cfg := expConfig(h, core.Tahoe)
 		if tgt == 0 {
 			cfg.Tech.Chunking = false
@@ -212,11 +237,15 @@ func expE16(opt ExpOptions) (*Table, error) {
 				chunks = n
 			}
 		}
-		t.AddRow(labels[i], report.Int(chunks),
+		return oneRow(labels[i], report.Int(chunks),
 			report.Norm(r.Time, base),
 			report.Int(r.Migration.Migrations),
-			report.MB(r.DRAMHighWaterBytes))
+			report.MB(r.DRAMHighWaterBytes)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	addRows(t, rows)
 	t.Note("chunking only applies to objects larger than half of DRAM; finer chunks let the knapsack fill the headroom a whole object cannot")
 	return t, nil
 }

@@ -3,8 +3,10 @@ package tahoe
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/calib"
 	"repro/internal/core"
@@ -18,7 +20,113 @@ type ExpOptions struct {
 	// Quick runs a reduced instance (fewer workloads, smaller scales);
 	// used by the benchmark harness to keep iterations cheap.
 	Quick bool
+	// ParallelCells bounds the worker pool experiment grids fan out on.
+	// Zero means GOMAXPROCS; 1 forces the serial path. Tables are
+	// byte-identical at any setting: cells are independent deterministic
+	// simulations and rows are assembled in declaration order.
+	ParallelCells int
 }
+
+// cellWorkers resolves the effective worker count for n cells.
+func (o ExpOptions) cellWorkers(n int) int {
+	w := o.ParallelCells
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// runCells evaluates n independent experiment cells — a cell is one
+// workload x policy x device-config slice of an experiment grid, always a
+// pure function of its index — on a bounded worker pool and returns the
+// results in cell order, so tables are byte-identical to a serial run.
+// Cells must not share mutable state; every simulated run builds its own
+// graph and engine, and the calibration cache is the one shared,
+// synchronized exception. The first error (or panic, re-raised on the
+// calling goroutine) by cell index wins, matching the serial path.
+func runCells[R any](opt ExpOptions, n int, cell func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	if n == 0 {
+		return out, nil
+	}
+	if opt.cellWorkers(n) <= 1 {
+		for i := 0; i < n; i++ {
+			r, err := cell(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		panicAt = n
+		panicV  any
+	)
+	next.Store(-1)
+	for w := 0; w < opt.cellWorkers(n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							mu.Lock()
+							if i < panicAt {
+								panicAt, panicV = i, p
+							}
+							mu.Unlock()
+						}
+					}()
+					r, err := cell(i)
+					if err != nil {
+						mu.Lock()
+						if i < errIdx {
+							errIdx, firstEr = i, err
+						}
+						mu.Unlock()
+						return
+					}
+					out[i] = r
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+// addRows appends pre-computed rows (one slice of rows per cell) in
+// declaration order.
+func addRows(t *Table, rows [][][]string) {
+	for _, cellRows := range rows {
+		for _, row := range cellRows {
+			t.AddRow(row...)
+		}
+	}
+}
+
+// oneRow wraps a single row as a cell result for addRows.
+func oneRow(cells ...string) [][]string { return [][]string{cells} }
 
 // Experiment regenerates one table or figure of the evaluation.
 type Experiment struct {
@@ -80,25 +188,37 @@ func hmsLat(mult float64) mem.HMS {
 }
 func hmsOptane() mem.HMS { return mem.NewHMS(mem.DRAM(), mem.OptanePM(), expDRAM) }
 
-// calibCache memoizes the per-machine constant factors.
+// calibCache memoizes the per-machine constant factors. Entries carry a
+// per-key sync.Once so concurrent cells needing the same machine neither
+// duplicate the calibration run nor serialize behind a global lock while
+// one of them computes (different machines calibrate concurrently).
+type calibEntry struct {
+	once sync.Once
+	f    calib.Factors
+}
+
 var (
 	calibMu    sync.Mutex
-	calibCache = map[string]calib.Factors{}
+	calibCache = map[string]*calibEntry{}
 )
 
 func factorsFor(h mem.HMS) calib.Factors {
 	key := fmt.Sprintf("%s|%s|%g|%g", h.DRAM.Name, h.NVM.Name, h.NVM.ReadBW, h.NVM.ReadLatNS)
 	calibMu.Lock()
-	defer calibMu.Unlock()
-	if f, ok := calibCache[key]; ok {
-		return f
+	e, ok := calibCache[key]
+	if !ok {
+		e = &calibEntry{}
+		calibCache[key] = e
 	}
-	f, err := calib.Calibrate(h, prof.DefaultConfig())
-	if err != nil {
-		f = calib.Factors{CFBw: 1, CFLat: 1}
-	}
-	calibCache[key] = f
-	return f
+	calibMu.Unlock()
+	e.once.Do(func() {
+		f, err := calib.Calibrate(h, prof.DefaultConfig())
+		if err != nil {
+			f = calib.Factors{CFBw: 1, CFLat: 1}
+		}
+		e.f = f
+	})
+	return e.f
 }
 
 // expConfig is the standard calibrated configuration for a machine.

@@ -15,10 +15,19 @@
 // deterministic: no wall-clock time, no goroutine scheduling, stable event
 // ordering. Between events all rates are constant, so the engine advances
 // the virtual clock directly to the next completion.
+//
+// The event loop is incremental: each resource keeps its active flows in
+// an id-ordered slice (no per-event map iteration or re-sort), rates are
+// recomputed only for resources whose membership changed since the last
+// event (the dirty set), fixed-stage completions sit in a min-heap instead
+// of being rescanned, and the drain/finish scratch buffers are engine-owned
+// so the steady-state loop does not allocate. The semantics — event
+// ordering, tolerances, and every floating-point result — are bit-identical
+// to the retained reference implementation (engine_ref_test.go), which the
+// equivalence test enforces on randomized scenarios.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -30,10 +39,13 @@ type Resource struct {
 	name string
 	bw   float64 // bytes per second
 
-	// active flows currently in a shared stage on this resource.
-	active map[*Flow]struct{}
-	// totalWeight caches the sum of active flow weights.
-	totalWeight float64
+	// active flows currently in a shared stage on this resource, in
+	// ascending flow-id order (the order rate computation and completion
+	// handling require, maintained incrementally on join/leave).
+	active []*Flow
+	// dirty marks that the membership changed since rates were last
+	// computed; clean resources keep their flows' rates untouched.
+	dirty bool
 	// busySec accumulates time with at least one active flow.
 	busySec float64
 	// servedBytes accumulates delivered bytes.
@@ -55,17 +67,40 @@ func (r *Resource) BusySec() float64 { return r.busySec }
 // ServedBytes returns the total bytes the resource delivered.
 func (r *Resource) ServedBytes() float64 { return r.servedBytes }
 
-// Utilization returns delivered bytes over capacity for an interval:
-// the fraction of the resource's potential the flows consumed.
+// Utilization returns delivered bytes over capacity for an interval: the
+// fraction of the resource's potential the flows consumed. The ratio is
+// returned raw — a value above 1 means the caller's interval is shorter
+// than the service actually observed, or conservation broke; clamping it
+// would hide the over-accounting bug (Engine.Debug checks the
+// conservation law itself).
 func (r *Resource) Utilization(interval float64) float64 {
 	if interval <= 0 {
 		return 0
 	}
-	u := r.servedBytes / (r.bw * interval)
-	if u > 1 {
-		u = 1
+	return r.servedBytes / (r.bw * interval)
+}
+
+// insertActive adds f keeping active id-ordered. The common case — a
+// freshly started flow carries the highest id yet — appends.
+func (r *Resource) insertActive(f *Flow) {
+	a := r.active
+	i := len(a)
+	if i > 0 && a[i-1].id > f.id {
+		i = sort.Search(len(a), func(k int) bool { return a[k].id >= f.id })
 	}
-	return u
+	a = append(a, nil)
+	copy(a[i+1:], a[i:])
+	a[i] = f
+	r.active = a
+}
+
+// removeActive deletes f from the id-ordered active slice.
+func (r *Resource) removeActive(f *Flow) {
+	a := r.active
+	i := sort.Search(len(a), func(k int) bool { return a[k].id >= f.id })
+	copy(a[i:], a[i+1:])
+	a[len(a)-1] = nil
+	r.active = a[:len(a)-1]
 }
 
 // Stage is one step of a flow's lifetime.
@@ -115,21 +150,132 @@ type timer struct {
 	fn  func(now float64)
 }
 
+// timerHeap is a binary min-heap ordered by (at, seq) — a strict total
+// order, so the pop sequence is independent of heap internals. Concrete
+// push/pop (rather than container/heap) avoid boxing every entry into an
+// interface, which would allocate in the event loop.
 type timerHeap []timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
-func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+func (h *timerHeap) push(t timer) {
+	a := append(*h, t)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*h = a
+}
+
+func (h *timerHeap) pop() timer {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	t := a[n]
+	a[n] = timer{}
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && a.less(l, s) {
+			s = l
+		}
+		if r < n && a.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		a[i], a[s] = a[s], a[i]
+		i = s
+	}
+	*h = a
+	return t
+}
+
 func (h timerHeap) peek() (timer, bool) {
 	if len(h) == 0 {
 		return timer{}, false
+	}
+	return h[0], true
+}
+
+// fixedEntry is one fixed-stage completion in the engine's min-heap. A
+// flow sits in the heap exactly while its current stage is fixed; its
+// completion time never changes, so entries need no invalidation — they
+// are popped when the stage completes.
+type fixedEntry struct {
+	at float64
+	id int
+	f  *Flow
+}
+
+// fixedHeap is a binary min-heap ordered by (at, id); a flow holds at
+// most one entry (one current stage), so the order is strict and total.
+type fixedHeap []fixedEntry
+
+func (h fixedHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+
+func (h *fixedHeap) push(e fixedEntry) {
+	a := append(*h, e)
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+	*h = a
+}
+
+func (h *fixedHeap) pop() fixedEntry {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	e := a[n]
+	a[n] = fixedEntry{}
+	a = a[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && a.less(l, s) {
+			s = l
+		}
+		if r < n && a.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		a[i], a[s] = a[s], a[i]
+		i = s
+	}
+	*h = a
+	return e
+}
+
+func (h fixedHeap) peek() (fixedEntry, bool) {
+	if len(h) == 0 {
+		return fixedEntry{}, false
 	}
 	return h[0], true
 }
@@ -155,14 +301,24 @@ type Event struct {
 // The zero value is not usable; call NewEngine.
 type Engine struct {
 	now       float64
-	flows     map[*Flow]struct{}
+	nflows    int // live flows, fixed- and shared-stage alike
 	resources []*Resource
+	dirty     []*Resource // resources whose membership changed
+	fixed     fixedHeap   // pending fixed-stage completions
 	timers    timerHeap
 	timerSeq  int
 	nextID    int
 
+	// finished is the reusable per-event completion buffer.
+	finished []*Flow
+
 	// Trace, if non-nil, receives start and completion events.
 	Trace func(Event)
+
+	// Debug enables per-event invariant checks: a resource must never
+	// deliver more bytes than bandwidth x busy time allows (beyond eps) —
+	// the conservation law over-accounting would break first.
+	Debug bool
 
 	running bool
 	steps   int64
@@ -170,7 +326,7 @@ type Engine struct {
 
 // NewEngine returns an empty engine at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{flows: make(map[*Flow]struct{})}
+	return &Engine{}
 }
 
 // Now returns the current virtual time in seconds.
@@ -184,9 +340,17 @@ func (e *Engine) AddResource(name string, bw float64) *Resource {
 	if bw <= 0 {
 		panic(fmt.Sprintf("sim: resource %q with non-positive bandwidth %g", name, bw))
 	}
-	r := &Resource{name: name, bw: bw, active: make(map[*Flow]struct{})}
+	r := &Resource{name: name, bw: bw}
 	e.resources = append(e.resources, r)
 	return r
+}
+
+// markDirty queues r for rate recomputation at the next event.
+func (e *Engine) markDirty(r *Resource) {
+	if !r.dirty {
+		r.dirty = true
+		e.dirty = append(e.dirty, r)
+	}
 }
 
 // At schedules fn to run at virtual time t (clamped to now if in the past).
@@ -195,7 +359,7 @@ func (e *Engine) At(t float64, fn func(now float64)) {
 		t = e.now
 	}
 	e.timerSeq++
-	heap.Push(&e.timers, timer{at: t, seq: e.timerSeq, fn: fn})
+	e.timers.push(timer{at: t, seq: e.timerSeq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now.
@@ -216,7 +380,7 @@ func (e *Engine) StartFlow(f *Flow) {
 	f.id = e.nextID
 	f.started = e.now
 	f.stage = -1
-	e.flows[f] = struct{}{}
+	e.nflows++
 	if e.Trace != nil {
 		e.Trace(Event{Kind: EvStart, Time: e.now, Label: f.Label})
 	}
@@ -229,15 +393,15 @@ func (e *Engine) advanceStage(f *Flow) {
 	if f.stage >= 0 && f.stage < len(f.Stages) {
 		st := &f.Stages[f.stage]
 		if st.Res != nil {
-			delete(st.Res.active, f)
-			st.Res.totalWeight -= stageWeight(st)
+			st.Res.removeActive(f)
+			e.markDirty(st.Res)
 		}
 	}
 	for {
 		f.stage++
 		if f.stage >= len(f.Stages) {
 			f.done = true
-			delete(e.flows, f)
+			e.nflows--
 			if e.Trace != nil {
 				e.Trace(Event{Kind: EvDone, Time: e.now, Label: f.Label})
 			}
@@ -251,8 +415,8 @@ func (e *Engine) advanceStage(f *Flow) {
 			if st.Bytes <= 0 {
 				continue // empty shared stage
 			}
-			st.Res.active[f] = struct{}{}
-			st.Res.totalWeight += stageWeight(st)
+			st.Res.insertActive(f)
+			e.markDirty(st.Res)
 			f.remain = st.Bytes
 			return
 		}
@@ -260,6 +424,7 @@ func (e *Engine) advanceStage(f *Flow) {
 			continue // empty fixed stage
 		}
 		f.fixedAt = e.now + st.Fixed
+		e.fixed.push(fixedEntry{at: f.fixedAt, id: f.id, f: f})
 		return
 	}
 }
@@ -273,22 +438,19 @@ func stageWeight(st *Stage) float64 {
 
 // computeRates allocates each active flow's service rate: weighted
 // processor sharing with per-flow caps, waterfilled so bandwidth a
-// capped flow cannot use is redistributed to the uncapped ones.
+// capped flow cannot use is redistributed to the uncapped ones. Only
+// resources whose active set changed since the last event are touched —
+// a clean resource's inputs are unchanged, so recomputation would
+// reproduce the rates its flows already carry, bit for bit.
 func (e *Engine) computeRates() {
-	var scratch []*Flow
-	for _, r := range e.resources {
+	for _, r := range e.dirty {
+		r.dirty = false
 		if len(r.active) == 0 {
 			continue
 		}
-		scratch = scratch[:0]
-		for f := range r.active {
-			scratch = append(scratch, f)
-		}
-		sort.Slice(scratch, func(i, j int) bool { return scratch[i].id < scratch[j].id })
-
 		remBW := r.bw
 		remW := 0.0
-		for _, f := range scratch {
+		for _, f := range r.active {
 			remW += stageWeight(&f.Stages[f.stage])
 			f.curRate = -1
 		}
@@ -299,7 +461,7 @@ func (e *Engine) computeRates() {
 			}
 			fair := remBW / remW
 			progress := false
-			for _, f := range scratch {
+			for _, f := range r.active {
 				if f.curRate >= 0 {
 					continue
 				}
@@ -313,7 +475,7 @@ func (e *Engine) computeRates() {
 				}
 			}
 			if !progress {
-				for _, f := range scratch {
+				for _, f := range r.active {
 					if f.curRate < 0 {
 						f.curRate = fair * stageWeight(&f.Stages[f.stage])
 					}
@@ -322,16 +484,27 @@ func (e *Engine) computeRates() {
 			}
 		}
 		// Numerical guard: a rate of zero would stall the simulation.
-		for _, f := range scratch {
+		for _, f := range r.active {
 			if f.curRate <= 0 {
 				f.curRate = r.bw * 1e-12
 			}
 		}
 	}
+	e.dirty = e.dirty[:0]
 }
 
 // eps is the relative tolerance for simultaneous-event detection.
 const eps = 1e-9
+
+// checkConservation panics if r delivered more bytes than bandwidth x
+// busy time allows beyond the engine's tolerance (Debug mode only).
+func (e *Engine) checkConservation(r *Resource) {
+	limit := r.bw * r.busySec
+	if r.servedBytes > limit*(1+eps)+1e-6 {
+		panic(fmt.Sprintf("sim: resource %q over-served: %g bytes > %g bw x busySec",
+			r.name, r.servedBytes, limit))
+	}
+}
 
 // Run processes events until no flows are active and no timers remain.
 // It returns the final virtual time.
@@ -349,11 +522,11 @@ func (e *Engine) Run() float64 {
 			if !ok || t.at > e.now+math.Max(1e-18, e.now*eps) {
 				break
 			}
-			heap.Pop(&e.timers)
+			e.timers.pop()
 			t.fn(e.now)
 		}
 
-		if len(e.flows) == 0 {
+		if e.nflows == 0 {
 			t, ok := e.timers.peek()
 			if !ok {
 				return e.now
@@ -362,20 +535,20 @@ func (e *Engine) Run() float64 {
 			continue
 		}
 
-		// Find the earliest completion among fixed stages, shared stages at
-		// current rates, and timers.
+		// Find the earliest completion among shared stages at current
+		// rates, pending fixed stages, and timers.
 		e.computeRates()
 		next := math.Inf(1)
-		for f := range e.flows {
-			st := &f.Stages[f.stage]
-			if st.Res != nil {
+		for _, r := range e.resources {
+			for _, f := range r.active {
 				f.nextAt = e.now + f.remain/f.curRate
-			} else {
-				f.nextAt = f.fixedAt
+				if f.nextAt < next {
+					next = f.nextAt
+				}
 			}
-			if f.nextAt < next {
-				next = f.nextAt
-			}
+		}
+		if fe, ok := e.fixed.peek(); ok && fe.at < next {
+			next = fe.at
 		}
 		if t, ok := e.timers.peek(); ok && t.at < next {
 			next = t.at
@@ -392,31 +565,58 @@ func (e *Engine) Run() float64 {
 		// collect the flows whose completion lands at `next` (within
 		// tolerance; simultaneous completions are processed together).
 		tol := math.Max(1e-18, next*eps)
-		var finished []*Flow
+		finished := e.finished[:0]
 		for _, r := range e.resources {
-			if len(r.active) > 0 {
-				r.busySec += dt
+			if len(r.active) == 0 {
+				continue
 			}
-		}
-		for f := range e.flows {
-			if f.Stages[f.stage].Res != nil {
+			r.busySec += dt
+			for _, f := range r.active {
 				served := f.curRate * dt
 				f.remain -= served
-				f.Stages[f.stage].Res.servedBytes += served
+				r.servedBytes += served
+				if f.nextAt <= next+tol {
+					finished = append(finished, f)
+				}
 			}
-			if f.nextAt <= next+tol {
-				finished = append(finished, f)
+			if e.Debug {
+				e.checkConservation(r)
 			}
+		}
+		for {
+			fe, ok := e.fixed.peek()
+			if !ok || fe.at > next+tol {
+				break
+			}
+			e.fixed.pop()
+			finished = append(finished, fe.f)
 		}
 		e.now = next
 		e.steps++
 
-		// Deterministic completion order.
-		sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+		// Deterministic completion order: ascending flow id. Insertion
+		// sort — the set is almost always tiny, and sort.Slice's
+		// reflection header would be the loop's only allocation.
+		for i := 1; i < len(finished); i++ {
+			f := finished[i]
+			j := i
+			for j > 0 && finished[j-1].id > f.id {
+				finished[j] = finished[j-1]
+				j--
+			}
+			finished[j] = f
+		}
+		e.finished = finished
 		for _, f := range finished {
 			if !f.done {
 				e.advanceStage(f)
 			}
 		}
+		// Drop references so completed flows are collectable; the buffer's
+		// capacity is reused next event.
+		for i := range e.finished {
+			e.finished[i] = nil
+		}
+		e.finished = e.finished[:0]
 	}
 }

@@ -1,0 +1,276 @@
+// Reference engine: a verbatim retention of the pre-optimization fluid
+// DES (map-based active sets, global rate recomputation, per-event
+// allocations). It exists only to pin the optimized engine's semantics:
+// the equivalence test replays randomized flow/timer soups through both
+// implementations and asserts bit-identical completion sequences and
+// final clocks. Nothing outside the tests may depend on it.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+type refResource struct {
+	name        string
+	bw          float64
+	active      map[*refFlow]struct{}
+	totalWeight float64
+	busySec     float64
+	servedBytes float64
+}
+
+func (r *refResource) BusySec() float64 { return r.busySec }
+
+type refStage struct {
+	Fixed   float64
+	Res     *refResource
+	Bytes   float64
+	Weight  float64
+	MaxRate float64
+}
+
+type refFlow struct {
+	Label  string
+	Stages []refStage
+	OnDone func(now float64)
+
+	id      int
+	stage   int
+	remain  float64
+	fixedAt float64
+	nextAt  float64
+	curRate float64
+	started float64
+	done    bool
+}
+
+type refEngine struct {
+	now       float64
+	flows     map[*refFlow]struct{}
+	resources []*refResource
+	timers    timerHeap
+	timerSeq  int
+	nextID    int
+
+	Trace func(Event)
+
+	running bool
+	steps   int64
+}
+
+func newRefEngine() *refEngine {
+	return &refEngine{flows: make(map[*refFlow]struct{})}
+}
+
+func (e *refEngine) AddResource(name string, bw float64) *refResource {
+	if bw <= 0 {
+		panic(fmt.Sprintf("sim: resource %q with non-positive bandwidth %g", name, bw))
+	}
+	r := &refResource{name: name, bw: bw, active: make(map[*refFlow]struct{})}
+	e.resources = append(e.resources, r)
+	return r
+}
+
+func (e *refEngine) At(t float64, fn func(now float64)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.timerSeq++
+	e.timers.push(timer{at: t, seq: e.timerSeq, fn: fn})
+}
+
+func (e *refEngine) StartFlow(f *refFlow) {
+	if f.done {
+		panic("sim: reusing a completed Flow")
+	}
+	e.nextID++
+	f.id = e.nextID
+	f.started = e.now
+	f.stage = -1
+	e.flows[f] = struct{}{}
+	if e.Trace != nil {
+		e.Trace(Event{Kind: EvStart, Time: e.now, Label: f.Label})
+	}
+	e.advanceStage(f)
+}
+
+func (e *refEngine) advanceStage(f *refFlow) {
+	if f.stage >= 0 && f.stage < len(f.Stages) {
+		st := &f.Stages[f.stage]
+		if st.Res != nil {
+			delete(st.Res.active, f)
+			st.Res.totalWeight -= refStageWeight(st)
+		}
+	}
+	for {
+		f.stage++
+		if f.stage >= len(f.Stages) {
+			f.done = true
+			delete(e.flows, f)
+			if e.Trace != nil {
+				e.Trace(Event{Kind: EvDone, Time: e.now, Label: f.Label})
+			}
+			if f.OnDone != nil {
+				f.OnDone(e.now)
+			}
+			return
+		}
+		st := &f.Stages[f.stage]
+		if st.Res != nil {
+			if st.Bytes <= 0 {
+				continue
+			}
+			st.Res.active[f] = struct{}{}
+			st.Res.totalWeight += refStageWeight(st)
+			f.remain = st.Bytes
+			return
+		}
+		if st.Fixed <= 0 {
+			continue
+		}
+		f.fixedAt = e.now + st.Fixed
+		return
+	}
+}
+
+func refStageWeight(st *refStage) float64 {
+	if st.Weight > 0 {
+		return st.Weight
+	}
+	return 1
+}
+
+func (e *refEngine) computeRates() {
+	var scratch []*refFlow
+	for _, r := range e.resources {
+		if len(r.active) == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		for f := range r.active {
+			scratch = append(scratch, f)
+		}
+		sort.Slice(scratch, func(i, j int) bool { return scratch[i].id < scratch[j].id })
+
+		remBW := r.bw
+		remW := 0.0
+		for _, f := range scratch {
+			remW += refStageWeight(&f.Stages[f.stage])
+			f.curRate = -1
+		}
+		for {
+			if remW <= 0 {
+				break
+			}
+			fair := remBW / remW
+			progress := false
+			for _, f := range scratch {
+				if f.curRate >= 0 {
+					continue
+				}
+				st := &f.Stages[f.stage]
+				w := refStageWeight(st)
+				if st.MaxRate > 0 && st.MaxRate < fair*w {
+					f.curRate = st.MaxRate
+					remBW -= st.MaxRate
+					remW -= w
+					progress = true
+				}
+			}
+			if !progress {
+				for _, f := range scratch {
+					if f.curRate < 0 {
+						f.curRate = fair * refStageWeight(&f.Stages[f.stage])
+					}
+				}
+				break
+			}
+		}
+		for _, f := range scratch {
+			if f.curRate <= 0 {
+				f.curRate = r.bw * 1e-12
+			}
+		}
+	}
+}
+
+func (e *refEngine) Run() float64 {
+	if e.running {
+		panic("sim: Engine.Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for {
+		for {
+			t, ok := e.timers.peek()
+			if !ok || t.at > e.now+math.Max(1e-18, e.now*eps) {
+				break
+			}
+			e.timers.pop()
+			t.fn(e.now)
+		}
+
+		if len(e.flows) == 0 {
+			t, ok := e.timers.peek()
+			if !ok {
+				return e.now
+			}
+			e.now = t.at
+			continue
+		}
+
+		e.computeRates()
+		next := math.Inf(1)
+		for f := range e.flows {
+			st := &f.Stages[f.stage]
+			if st.Res != nil {
+				f.nextAt = e.now + f.remain/f.curRate
+			} else {
+				f.nextAt = f.fixedAt
+			}
+			if f.nextAt < next {
+				next = f.nextAt
+			}
+		}
+		if t, ok := e.timers.peek(); ok && t.at < next {
+			next = t.at
+		}
+		if math.IsInf(next, 1) {
+			panic("sim: active flows but no next event")
+		}
+		dt := next - e.now
+		if dt < 0 {
+			dt = 0
+		}
+
+		tol := math.Max(1e-18, next*eps)
+		var finished []*refFlow
+		for _, r := range e.resources {
+			if len(r.active) > 0 {
+				r.busySec += dt
+			}
+		}
+		for f := range e.flows {
+			if f.Stages[f.stage].Res != nil {
+				served := f.curRate * dt
+				f.remain -= served
+				f.Stages[f.stage].Res.servedBytes += served
+			}
+			if f.nextAt <= next+tol {
+				finished = append(finished, f)
+			}
+		}
+		e.now = next
+		e.steps++
+
+		sort.Slice(finished, func(i, j int) bool { return finished[i].id < finished[j].id })
+		for _, f := range finished {
+			if !f.done {
+				e.advanceStage(f)
+			}
+		}
+	}
+}

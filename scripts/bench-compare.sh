@@ -1,0 +1,48 @@
+#!/bin/sh
+# bench-compare.sh — run the simulator-core benchmarks and compare ns/op
+# against the recorded baseline in BENCH_SIM.json. Exits non-zero if any
+# benchmark regresses by more than the baseline's threshold_pct.
+#
+# Usage:  scripts/bench-compare.sh [benchtime]     (default 20x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-20x}"
+
+out="$(go test -run '^$' \
+  -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick' \
+  -benchtime "$benchtime" -count 1 .)"
+echo "$out"
+
+echo "$out" | awk '
+  # Load the baseline: "name": ns pairs from BENCH_SIM.json.
+  BEGIN {
+    while ((getline line < "BENCH_SIM.json") > 0) {
+      if (line ~ /threshold_pct/) {
+        gsub(/[^0-9]/, "", line); threshold = line + 0
+      } else if (line ~ /"Benchmark[A-Za-z0-9_]*":/) {
+        name = line; sub(/^[^"]*"/, "", name); sub(/".*/, "", name)
+        ns = line; sub(/.*: */, "", ns); gsub(/[,[:space:]]/, "", ns)
+        base[name] = ns + 0
+      }
+    }
+    if (threshold == 0) threshold = 30
+  }
+  $1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in base)) next
+    got = $3 + 0; want = base[name]
+    pct = (got - want) * 100 / want
+    checked++
+    if (pct > threshold) {
+      printf "REGRESSION %s: %.0f ns/op vs baseline %.0f (%+.1f%%, threshold %d%%)\n", name, got, want, pct, threshold
+      bad++
+    } else {
+      printf "ok %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n", name, got, want, pct
+    }
+  }
+  END {
+    if (checked == 0) { print "bench-compare: no baselined benchmarks in output"; exit 1 }
+    if (bad > 0) exit 1
+  }
+'

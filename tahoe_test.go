@@ -146,6 +146,35 @@ func TestExperimentDeterminism(t *testing.T) {
 	}
 }
 
+// TestExperimentParallelByteIdentical pins the parallel-harness
+// contract: the serial path and an oversubscribed worker pool render
+// byte-identical tables, because cells are independent deterministic
+// simulations and rows are assembled in declaration order.
+func TestExperimentParallelByteIdentical(t *testing.T) {
+	render := func(id string, workers int) string {
+		e, err := ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := e.Run(ExpOptions{Quick: true, ParallelCells: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tb.CSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	for _, id := range []string{"E1", "E3", "E4", "E12", "E15"} {
+		serial := render(id, 1)
+		parallel := render(id, 8)
+		if serial != parallel {
+			t.Fatalf("%s: parallel table differs from serial\nserial:\n%s\nparallel:\n%s", id, serial, parallel)
+		}
+	}
+}
+
 // TestExperimentShapes asserts the qualitative results the reproduction
 // claims (the EXPERIMENTS.md contract), on quick instances.
 func TestExperimentShapes(t *testing.T) {
