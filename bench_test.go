@@ -230,3 +230,73 @@ func BenchmarkLockFreeVsMutexPool(b *testing.B) {
 }
 
 func BenchmarkE16_ChunkGranularity(b *testing.B) { benchExperiment(b, "E16") }
+
+// Planner micro-benchmarks: the optimized searches and the retained
+// reference planner run on the same frozen mid-run state (profiled
+// kinds, frontier one third in — see core.PlannerBench), so the
+// optimized/Ref ratio is the planner optimization's honest speedup.
+func plannerBench(b *testing.B) *core.PlannerBench {
+	b.Helper()
+	h := NewHMS(DRAM(), NVMBandwidth(0.5), 128*MB)
+	w, err := BuildWorkload("cholesky", WorkloadParams{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := core.NewPlannerBench(w.Graph, DefaultConfig(h))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the benefit and knapsack caches: the steady state the runtime
+	// spends its life in.
+	pb.Global()
+	pb.Local()
+	return pb
+}
+
+func BenchmarkPlannerGlobal(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Global()
+	}
+}
+
+func BenchmarkPlannerLocal(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Local()
+	}
+}
+
+func BenchmarkPlannerReplan(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.Replan()
+	}
+}
+
+func BenchmarkPlannerGlobalRef(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.RefGlobal()
+	}
+}
+
+func BenchmarkPlannerLocalRef(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.RefLocal()
+	}
+}
+
+func BenchmarkPlannerReplanRef(b *testing.B) {
+	pb := plannerBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pb.RefReplan()
+	}
+}

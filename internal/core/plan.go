@@ -1,26 +1,132 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
-	"repro/internal/heap"
-	"repro/internal/mem"
 	"repro/internal/placement"
 	"repro/internal/task"
+
+	"repro/internal/mem"
 )
 
-// chunkSet is a set of chunks targeted for DRAM residency.
-type chunkSet map[heap.ChunkRef]bool
+// The planner is the runtime's decision core and, since the simulator
+// core went incremental (PR 1), the dominant cost of every Tahoe cell.
+// This file is its allocation-light implementation:
+//
+//   - target sets are planSet bitsets over the heap's dense global chunk
+//     index instead of map[ChunkRef]bool;
+//   - the hypothetical resident footprint is an int64 accumulator
+//     maintained on membership change, not a rescan per task;
+//   - knapsack calls go through a memoizing placement.Solver, so the
+//     repeated same-kind candidate patterns of the local search pay a
+//     lookup (which is what solverSec always claimed they cost);
+//   - per-object benefit totals persist across maybePlan calls in
+//     plannerState and are refreshed only for objects dirtied since the
+//     last plan (frontier advance or profile change) — O(Δ) replans;
+//   - all scratch (candidate slices, bitsets, the per-task target
+//     backing store) is runner-owned and reused across plans.
+//
+// Correctness contract: every plan must be bit-identical (plan kind,
+// target membership, Float64bits of predicted and solverSec) to the
+// retained reference planner in plan_ref.go. That forbids shortcuts like
+// maintaining float sums by subtraction — instead, a dirty object's
+// total is re-folded from its per-object use table in exactly the
+// reference's addition order. plan_equiv_test.go enforces the contract
+// over randomized runs; see DESIGN.md "Planner internals".
+
+// planSet is a set of chunks targeted for DRAM residency: a dense bitset
+// over heap.State's global chunk index. nil means "no target".
+type planSet []uint64
+
+func planWords(totalChunks int) int { return (totalChunks + 63) / 64 }
+
+func (s planSet) has(ix int) bool {
+	if s == nil {
+		return false
+	}
+	return s[ix>>6]&(1<<uint(ix&63)) != 0
+}
+
+func (s planSet) set(ix int) { s[ix>>6] |= 1 << uint(ix&63) }
+
+func (s planSet) clearAll() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func (s planSet) orWith(o planSet) {
+	for i, w := range o {
+		s[i] |= w
+	}
+}
+
+func (s planSet) equal(o planSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i, w := range s {
+		if w != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s planSet) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// containsRange reports whether all of [lo, lo+n) is set. n must be > 0.
+func (s planSet) containsRange(lo, n int) bool {
+	if s == nil {
+		return false
+	}
+	hi := lo + n
+	w0, w1 := lo>>6, (hi-1)>>6
+	for w := w0; w <= w1; w++ {
+		m := ^uint64(0)
+		if w == w0 {
+			m &= ^uint64(0) << uint(lo&63)
+		}
+		if w == w1 {
+			if r := hi & 63; r != 0 {
+				m &= (uint64(1) << uint(r)) - 1
+			}
+		}
+		if s[w]&m != m {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach visits the set bits in ascending index order — for chunk
+// indices, ascending (object, chunk) order, matching the sorted-map
+// iteration the reference enforcement paths used.
+func (s planSet) forEach(fn func(ix int)) {
+	for w, word := range s {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
 
 // planResult is the outcome of the placement decision step.
 type planResult struct {
-	kind string // "global", "local", or "phase"
+	kind string // "global", "local", "phase", or "static"
 	// global is the single whole-run target set (global search).
-	global chunkSet
+	global planSet
 	// perTask[taskID] is the target set when the task runs (local search).
-	perTask []chunkSet
+	perTask []planSet
 	// perLevel[level] is the target set per topological level (PhaseBased).
-	perLevel []chunkSet
+	perLevel []planSet
 	// predicted is the model's estimate of the remaining execution time
 	// under the plan; the runtime picks the smaller of global vs local.
 	predicted float64
@@ -29,6 +135,230 @@ type planResult struct {
 	// local search memoize: distinct patterns pay the full DP, repeats
 	// pay a lookup.
 	solverSec float64
+}
+
+type benefitKey struct {
+	kind string
+	obj  task.ObjectID
+}
+
+// objUse is one access entry to an object: the task and its kind index.
+// An object's uses are stored in (task, access-position) order — the
+// exact order the reference's objBenefitTotals adds benefits in, so a
+// per-object re-fold reproduces its float sum bit for bit.
+type objUse struct {
+	task int32
+	kind int32
+}
+
+// plannerState is the incremental planning state a runner keeps for the
+// profiling policies (Tahoe, PhaseBased). Everything here is derived
+// from the graph, the heap's chunk index, and the profiler; it persists
+// across maybePlan calls so a replan touches only what changed.
+type plannerState struct {
+	words int // bitset words per planSet
+	nobj  int
+	nk    int
+
+	kindNames []string
+	kindIx    map[string]int32
+	kindOf    []int32 // per task: index into kindNames
+
+	chunkSize []int64 // per global chunk index (immutable)
+
+	uses     [][]objUse      // per object: future-relevant access entries
+	kindObjs [][]task.ObjectID // per kind: distinct objects it touches
+
+	// futureUses[obj] counts access entries among not-yet-started tasks;
+	// decremented as tasks start. Integer, hence exactly the reference's
+	// per-plan recount.
+	futureUses []int32
+
+	// Per-(kind, object) benefit cache: benefitPerExec is pure given the
+	// profiler's state for the kind, so entries are invalidated whenever
+	// the kind records a profile or is marked stale.
+	pairB  []float64 // nk * nobj
+	pairOK []bool
+
+	// Persistent per-object benefit totals over unstarted tasks, plus the
+	// dirty set driving O(Δ) refresh.
+	totals   []float64
+	objDirty []bool
+	dirty    []task.ObjectID
+
+	solver *placement.Solver
+
+	// Scratch reused across plans.
+	future   []*task.Task
+	items    []placement.Item
+	accObjs  []task.ObjectID
+	candObjs []task.ObjectID
+	resObjs  []task.ObjectID
+	objMark  []bool
+	kindMark []bool
+	resident planSet
+	keep     planSet // proactiveScan window union
+	seen     planSet // proactiveScan dedup
+	wants    []wantPromo
+
+	// Plan storage, overwritten by the next plan: the global target, the
+	// per-task view table and its flat backing buffer (consecutive tasks
+	// with identical targets alias one committed copy).
+	globalBuf planSet
+	perTask   []planSet
+	taskBuf   []uint64
+}
+
+type wantPromo struct {
+	ix  int // global chunk index
+	obj task.ObjectID
+	id  task.TaskID
+}
+
+// newPlannerState builds the planner's derived tables. All objects start
+// dirty; the first plan folds every total once.
+func newPlannerState(r *runner) *plannerState {
+	g, st := r.g, r.st
+	nobj := len(g.Objects)
+	nk := len(r.kindList)
+	total := st.TotalChunks()
+	p := &plannerState{
+		words:     planWords(total),
+		nobj:      nobj,
+		nk:        nk,
+		kindNames: r.kindList,
+		kindIx:    make(map[string]int32, nk),
+		kindOf:    make([]int32, len(g.Tasks)),
+		chunkSize: make([]int64, total),
+		uses:      make([][]objUse, nobj),
+		kindObjs:  make([][]task.ObjectID, nk),
+		futureUses: make([]int32, nobj),
+		pairB:     make([]float64, nk*nobj),
+		pairOK:    make([]bool, nk*nobj),
+		totals:    make([]float64, nobj),
+		objDirty:  make([]bool, nobj),
+		solver:    placement.NewSolver(),
+		objMark:   make([]bool, nobj),
+		kindMark:  make([]bool, nk),
+	}
+	for i, k := range p.kindNames {
+		p.kindIx[k] = int32(i)
+	}
+	for ix := 0; ix < total; ix++ {
+		p.chunkSize[ix] = st.ChunkSize(st.RefAt(ix))
+	}
+	// Use tables: count, then fill flat, preserving (task, access) order.
+	counts := make([]int32, nobj)
+	for _, t := range g.Tasks {
+		p.kindOf[t.ID] = int32(g.KindIndex(t.ID))
+		for _, a := range t.Accesses {
+			counts[a.Obj]++
+		}
+	}
+	var flatTotal int32
+	for _, c := range counts {
+		flatTotal += c
+	}
+	flat := make([]objUse, flatTotal)
+	offs := make([]int32, nobj)
+	var off int32
+	for obj, c := range counts {
+		p.uses[obj] = flat[off : off+c : off+c]
+		offs[obj] = off
+		off += c
+	}
+	pairMark := make([]bool, nk*nobj)
+	for _, t := range g.Tasks {
+		k := p.kindOf[t.ID]
+		for _, a := range t.Accesses {
+			flat[offs[a.Obj]] = objUse{task: int32(t.ID), kind: k}
+			offs[a.Obj]++
+			p.futureUses[a.Obj]++
+			if ix := int(k)*nobj + int(a.Obj); !pairMark[ix] {
+				pairMark[ix] = true
+				p.kindObjs[k] = append(p.kindObjs[k], a.Obj)
+			}
+		}
+	}
+	p.dirty = make([]task.ObjectID, 0, nobj)
+	for obj := 0; obj < nobj; obj++ {
+		p.objDirty[obj] = true
+		p.dirty = append(p.dirty, task.ObjectID(obj))
+	}
+	p.resident = make(planSet, p.words)
+	p.keep = make(planSet, p.words)
+	p.seen = make(planSet, p.words)
+	p.globalBuf = make(planSet, p.words)
+	p.perTask = make([]planSet, len(g.Tasks))
+	return p
+}
+
+// markDirty queues an object's total for re-folding at the next plan.
+func (p *plannerState) markDirty(obj task.ObjectID) {
+	if !p.objDirty[obj] {
+		p.objDirty[obj] = true
+		p.dirty = append(p.dirty, obj)
+	}
+}
+
+// taskStarted records a task's start: its access entries leave the
+// future, dirtying the touched objects.
+func (p *plannerState) taskStarted(t *task.Task) {
+	for _, a := range t.Accesses {
+		p.futureUses[a.Obj]--
+		p.markDirty(a.Obj)
+	}
+}
+
+// invalidateKind drops the kind's cached benefits and dirties every
+// object it touches — called when the kind records a profile (estimates
+// are running means, so every Record shifts them) or is marked stale.
+func (p *plannerState) invalidateKind(k int32) {
+	lo := int(k) * p.nobj
+	for i := lo; i < lo+p.nobj; i++ {
+		p.pairOK[i] = false
+	}
+	for _, obj := range p.kindObjs[k] {
+		p.markDirty(obj)
+	}
+}
+
+// invalidateKindName is invalidateKind for callers holding the name.
+func (p *plannerState) invalidateKindName(kind string) {
+	if k, ok := p.kindIx[kind]; ok {
+		p.invalidateKind(k)
+	}
+}
+
+// benefit is the cached benefitPerExec for a (kind, object) pair. Cached
+// values were produced by the same pure computation on the same profiler
+// state, so they are bit-identical to a fresh call.
+func (p *plannerState) benefit(r *runner, k int32, obj task.ObjectID) float64 {
+	ix := int(k)*p.nobj + int(obj)
+	if !p.pairOK[ix] {
+		p.pairB[ix] = r.benefitPerExec(p.kindNames[k], obj)
+		p.pairOK[ix] = true
+	}
+	return p.pairB[ix]
+}
+
+// refreshTotals re-folds the totals of dirty objects. Each fold adds the
+// object's future uses in (task, access-position) order — the reference
+// sum's exact addition order — so the result is bit-identical to a full
+// recompute while touching only Δ objects.
+func (p *plannerState) refreshTotals(r *runner) {
+	for _, obj := range p.dirty {
+		p.objDirty[obj] = false
+		var sum float64
+		for _, u := range p.uses[obj] {
+			if r.started[u.task] {
+				continue
+			}
+			sum += p.benefit(r, u.kind, obj)
+		}
+		p.totals[obj] = sum
+	}
+	p.dirty = p.dirty[:0]
 }
 
 // benefitPerExec returns the modeled seconds saved per execution of kind
@@ -43,37 +373,17 @@ func (r *runner) benefitPerExec(kind string, obj task.ObjectID) float64 {
 	return r.params.BenefitProfiled(est.Loads, est.Stores, est.BWCons)
 }
 
-// objBenefitTotals sums, per object, benefitPerExec over the future tasks
-// that actually touch it.
-func (r *runner) objBenefitTotals(future []*task.Task) map[task.ObjectID]float64 {
-	totals := make(map[task.ObjectID]float64)
-	cache := make(map[benefitKey]float64)
-	for _, t := range future {
-		for _, a := range t.Accesses {
-			k := benefitKey{t.Kind, a.Obj}
-			b, ok := cache[k]
-			if !ok {
-				b = r.benefitPerExec(t.Kind, a.Obj)
-				cache[k] = b
-			}
-			totals[a.Obj] += b
-		}
-	}
-	return totals
-}
-
-type benefitKey struct {
-	kind string
-	obj  task.ObjectID
-}
-
 // meanTaskSec is the runtime's estimate of one task's duration, from
-// profiled means; used to convert task-count distances into time.
+// profiled means; used to convert task-count distances into time. Kinds
+// are visited in the graph's stable first-appearance order: float
+// accumulation is order-sensitive, and both planners (and run-to-run
+// determinism) depend on a fixed order.
 func (r *runner) meanTaskSec() float64 {
 	var sum float64
 	var n int
-	for kind, cnt := range r.kindTotal {
+	for _, kind := range r.kindList {
 		if d, ok := r.profiler.MeanDuration(kind); ok {
+			cnt := r.kindTotal[kind]
 			sum += d * float64(cnt)
 			n += cnt
 		}
@@ -100,15 +410,18 @@ func (r *runner) overlapSec(from, to task.TaskID) float64 {
 }
 
 // estTaskSec predicts a task's duration under a target set: the profiled
-// mean minus the modeled benefit of every targeted object it touches.
-func (r *runner) estTaskSec(t *task.Task, target chunkSet) float64 {
+// mean minus the modeled benefit of every fully targeted object it
+// touches (the bitset equivalent of targetFraction == 1).
+func (r *runner) estTaskSec(t *task.Task, target planSet) float64 {
 	dur, ok := r.profiler.MeanDuration(t.Kind)
 	if !ok {
 		dur = r.meanTaskSec()
 	}
+	p := r.pt
+	k := p.kindOf[t.ID]
 	for _, a := range t.Accesses {
-		if r.targetFraction(a.Obj, target) == 1 {
-			dur -= r.benefitPerExec(t.Kind, a.Obj)
+		if target.containsRange(r.st.ChunkBase(a.Obj), r.st.Chunks(a.Obj)) {
+			dur -= p.benefit(r, k, a.Obj)
 		}
 	}
 	if dur < 0 {
@@ -117,25 +430,12 @@ func (r *runner) estTaskSec(t *task.Task, target chunkSet) float64 {
 	return dur
 }
 
-// targetFraction is the fraction of obj's chunks in the target set.
-func (r *runner) targetFraction(obj task.ObjectID, target chunkSet) float64 {
-	n := r.st.Chunks(obj)
-	in := 0
-	for i := 0; i < n; i++ {
-		if target[heap.ChunkRef{Obj: obj, Index: i}] {
-			in++
-		}
-	}
-	return float64(in) / float64(n)
-}
-
-// chunkRefs enumerates an object's chunks.
-func (r *runner) chunkRefs(obj task.ObjectID) []heap.ChunkRef {
-	refs := make([]heap.ChunkRef, r.st.Chunks(obj))
-	for i := range refs {
-		refs[i] = heap.ChunkRef{Obj: obj, Index: i}
-	}
-	return refs
+// usesAhead counts obj's uses within (from, from+horizon].
+func (r *runner) usesAhead(obj task.ObjectID, from, horizon task.TaskID) int {
+	users := r.g.Users(obj)
+	lo := sort.Search(len(users), func(i int) bool { return users[i] > from })
+	hi := sort.Search(len(users), func(i int) bool { return users[i] > from+horizon })
+	return hi - lo
 }
 
 // computeGlobalPlan runs the cross-phase (whole-graph) search: one
@@ -143,17 +443,19 @@ func (r *runner) chunkRefs(obj task.ObjectID) []heap.ChunkRef {
 // remaining benefit minus a one-time migration cost, then predicts the
 // remaining execution time under the winning set.
 func (r *runner) computeGlobalPlan(future []*task.Task) planResult {
-	totals := r.objBenefitTotals(future)
-	var items []placement.Item
+	p := r.pt
+	p.refreshTotals(r)
+	items := p.items[:0]
 	for _, o := range r.g.Objects {
-		benefit := totals[o.ID]
+		benefit := p.totals[o.ID]
 		if benefit == 0 {
 			continue
 		}
-		refs := r.chunkRefs(o.ID)
+		refs := r.st.Refs(o.ID)
 		per := benefit / float64(len(refs))
-		for _, ref := range refs {
-			size := r.st.ChunkSize(ref)
+		base := r.st.ChunkBase(o.ID)
+		for i, ref := range refs {
+			size := p.chunkSize[base+i]
 			cost := 0.0
 			if r.st.Tier(ref) != mem.InDRAM {
 				// The promotion is enqueued at plan time; the first future
@@ -164,17 +466,15 @@ func (r *runner) computeGlobalPlan(future []*task.Task) planResult {
 				}
 				cost = r.params.MigrationCost(size, r.overlapSec(r.frontier()-1, firstUse))
 			}
-			items = append(items, placement.Item{
-				Ref:    ref,
-				Size:   size,
-				Weight: per - cost,
-			})
+			items = append(items, placement.Item{Ref: ref, Size: size, Weight: per - cost})
 		}
 	}
-	chosen := placement.Knapsack(items, r.cfg.HMS.DRAMCapacity, placement.DefaultGranularity)
-	target := make(chunkSet, len(chosen))
+	p.items = items
+	chosen := p.solver.Solve(items, r.cfg.HMS.DRAMCapacity, placement.DefaultGranularity)
+	target := p.globalBuf
+	target.clearAll()
 	for _, i := range chosen {
-		target[items[i].Ref] = true
+		target.set(r.st.ChunkIndex(items[i].Ref))
 	}
 	predicted := 0.0
 	for _, t := range future {
@@ -197,39 +497,69 @@ func (r *runner) computeGlobalPlan(future []*task.Task) planResult {
 		solverSec: float64(len(items)) * solverItemSec}
 }
 
+// insertionSortObjs sorts a small object-ID slice in place.
+func insertionSortObjs(s []task.ObjectID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// mergeObjs merges two sorted, duplicate-free object lists into dst.
+func mergeObjs(dst, a, b []task.ObjectID) []task.ObjectID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case b[j] < a[i]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
 // computeLocalPlan runs the per-task (phase-local) search: walk the
 // future tasks in submission order, maintaining a hypothetical DRAM
 // content, and solve a knapsack per task over the chunks it touches
 // *plus* the chunks hypothetically resident — so every decision weighs
 // newcomers against incumbents with the same currency. A chunk's weight
 // is its object's average per-use benefit times the object's uses within
-// the lookahead horizon (a promoted chunk serves every nearby future
-// use, not just the task that triggered it), minus migration and
-// eviction costs for non-residents — the paper's task-by-task decision
-// with known DRAM contents.
+// the lookahead horizon, minus migration and eviction costs for
+// non-residents — the paper's task-by-task decision with known DRAM
+// contents. The hypothetical residency is a bitset plus an int64 byte
+// accumulator; same-kind tasks repeat candidate patterns, so the
+// per-task knapsacks mostly hit the solver's memo.
 func (r *runner) computeLocalPlan(future []*task.Task) planResult {
-	resident := make(chunkSet)
-	for _, o := range r.g.Objects {
-		for _, ref := range r.chunkRefs(o.ID) {
-			if r.st.Tier(ref) == mem.InDRAM {
-				resident[ref] = true
-			}
-		}
-	}
+	p := r.pt
+	p.refreshTotals(r)
 	capacity := r.cfg.HMS.DRAMCapacity
 
-	// Per-object average benefit per future use.
-	totals := r.objBenefitTotals(future)
-	futureUses := make(map[task.ObjectID]int)
-	for _, t := range future {
-		for _, a := range t.Accesses {
-			futureUses[a.Obj]++
+	resident := p.resident
+	resident.clearAll()
+	resObjs := p.resObjs[:0]
+	var residentBytes int64
+	for _, o := range r.g.Objects {
+		base := r.st.ChunkBase(o.ID)
+		in := false
+		for i, ref := range r.st.Refs(o.ID) {
+			if r.st.Tier(ref) == mem.InDRAM {
+				resident.set(base + i)
+				residentBytes += p.chunkSize[base+i]
+				in = true
+			}
 		}
-	}
-	perUse := make(map[task.ObjectID]float64, len(totals))
-	for obj, total := range totals {
-		if n := futureUses[obj]; n > 0 {
-			perUse[obj] = total / float64(n)
+		if in {
+			resObjs = append(resObjs, o.ID)
 		}
 	}
 
@@ -237,50 +567,62 @@ func (r *runner) computeLocalPlan(future []*task.Task) planResult {
 	if horizon < 64 {
 		horizon = 64
 	}
-	usesAhead := func(obj task.ObjectID, from task.TaskID) int {
-		users := r.g.Users(obj)
-		lo := sort.Search(len(users), func(i int) bool { return users[i] > from })
-		hi := sort.Search(len(users), func(i int) bool { return users[i] > from+horizon })
-		return hi - lo
-	}
 
-	perTask := make([]chunkSet, len(r.g.Tasks))
+	if len(p.perTask) < len(r.g.Tasks) {
+		p.perTask = make([]planSet, len(r.g.Tasks))
+	}
+	perTask := p.perTask
+	for i := range perTask {
+		perTask[i] = nil
+	}
+	p.taskBuf = p.taskBuf[:0]
+	var prev planSet // last committed distinct target
+
+	for i := range p.kindMark {
+		p.kindMark[i] = false
+	}
 	predicted := 0.0
 	items := 0
-	kinds := map[string]bool{}
+	kinds := 0
 	for _, t := range future {
-		kinds[t.Kind] = true
+		if k := p.kindOf[t.ID]; !p.kindMark[k] {
+			p.kindMark[k] = true
+			kinds++
+		}
 
-		// Candidate objects: the task's own plus the incumbents.
-		candObjs := make(map[task.ObjectID]bool, len(t.Accesses))
+		// Candidate objects, ascending: the task's own merged with the
+		// incumbents (resObjs is kept sorted; the task's are few).
+		acc := p.accObjs[:0]
 		for _, a := range t.Accesses {
-			candObjs[a.Obj] = true
+			if !p.objMark[a.Obj] {
+				p.objMark[a.Obj] = true
+				acc = append(acc, a.Obj)
+			}
 		}
-		for ref := range resident {
-			candObjs[ref.Obj] = true
+		for _, obj := range acc {
+			p.objMark[obj] = false
 		}
-		objs := make([]task.ObjectID, 0, len(candObjs))
-		for obj := range candObjs {
-			objs = append(objs, obj)
-		}
-		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		insertionSortObjs(acc)
+		p.accObjs = acc
+		candObjs := mergeObjs(p.candObjs[:0], acc, resObjs)
+		p.candObjs = candObjs
 
-		var cand []placement.Item
-		var residentBytes int64
-		for ref := range resident {
-			residentBytes += r.st.ChunkSize(ref)
-		}
-		for _, obj := range objs {
-			pu := perUse[obj]
+		cand := p.items[:0]
+		for _, obj := range candObjs {
+			pu := 0.0
+			if n := p.futureUses[obj]; n > 0 {
+				pu = p.totals[obj] / float64(n)
+			}
 			if pu <= 0 {
 				continue
 			}
-			refs := r.chunkRefs(obj)
-			each := pu * float64(usesAhead(obj, t.ID)) / float64(len(refs))
-			for _, ref := range refs {
-				size := r.st.ChunkSize(ref)
+			refs := r.st.Refs(obj)
+			each := pu * float64(r.usesAhead(obj, t.ID, horizon)) / float64(len(refs))
+			base := r.st.ChunkBase(obj)
+			for i, ref := range refs {
+				size := p.chunkSize[base+i]
 				w := each
-				if !resident[ref] {
+				if !resident.has(base + i) {
 					from := task.TaskID(-1)
 					if pu2, ok := r.g.PrevUser(obj, t.ID); ok {
 						from = pu2
@@ -294,27 +636,53 @@ func (r *runner) computeLocalPlan(future []*task.Task) planResult {
 				cand = append(cand, placement.Item{Ref: ref, Size: size, Weight: w})
 			}
 		}
+		p.items = cand
 		items += len(cand)
-		chosen := placement.Knapsack(cand, capacity, placement.DefaultGranularity)
-		target := make(chunkSet, len(chosen))
-		for _, i := range chosen {
-			target[cand[i].Ref] = true
-		}
+		chosen := p.solver.Solve(cand, capacity, placement.DefaultGranularity)
+
 		// The knapsack owns the residency decision: incumbents it did not
-		// re-choose are hypothetically demoted.
-		resident = target
-		perTask[t.ID] = target
-		predicted += r.estTaskSec(t, target)
+		// re-choose are hypothetically demoted. chosen is ascending over
+		// cand, and cand is (object, chunk)-ascending, so resObjs stays
+		// sorted and the byte accumulator matches the reference's recount
+		// exactly (integer sum over the same set).
+		resident.clearAll()
+		residentBytes = 0
+		resObjs = resObjs[:0]
+		last := task.ObjectID(-1)
+		for _, i := range chosen {
+			it := &cand[i]
+			resident.set(r.st.ChunkIndex(it.Ref))
+			residentBytes += it.Size
+			if it.Ref.Obj != last {
+				last = it.Ref.Obj
+				resObjs = append(resObjs, last)
+			}
+		}
+
+		// Commit the target view, aliasing runs of identical targets.
+		if prev != nil && prev.equal(resident) {
+			perTask[t.ID] = prev
+		} else {
+			off := len(p.taskBuf)
+			p.taskBuf = append(p.taskBuf, resident...)
+			prev = planSet(p.taskBuf[off : off+p.words])
+			perTask[t.ID] = prev
+		}
+		predicted += r.estTaskSec(t, resident)
 	}
+	p.resObjs = resObjs
 	predicted /= float64(r.cfg.Workers)
 	return planResult{kind: "local", perTask: perTask, predicted: predicted,
-		solverSec: float64(len(kinds))*20*solverItemSec + float64(items)*solverLookupSec}
+		solverSec: float64(kinds)*20*solverItemSec + float64(items)*solverLookupSec}
 }
 
 // computeLevelPlan is the PhaseBased comparator: one knapsack per
 // topological level over the objects its tasks touch, enforced at level
-// boundaries.
+// boundaries. PhaseBased plans at most maxReplans+1 times per run, so
+// this path keeps the simple per-call allocations; it still shares the
+// bitset representation, the benefit cache, and the memoizing solver.
 func (r *runner) computeLevelPlan(future []*task.Task) planResult {
+	p := r.pt
 	levels := r.levels
 	maxLevel := 0
 	for _, lv := range levels {
@@ -322,7 +690,7 @@ func (r *runner) computeLevelPlan(future []*task.Task) planResult {
 			maxLevel = lv
 		}
 	}
-	perLevel := make([]chunkSet, maxLevel+1)
+	perLevel := make([]planSet, maxLevel+1)
 	items := 0
 	predicted := 0.0
 	byLevel := make([][]*task.Task, maxLevel+1)
@@ -332,60 +700,74 @@ func (r *runner) computeLevelPlan(future []*task.Task) planResult {
 	// Hypothetical residency carried across levels: promoting an object
 	// that is already resident from the previous level costs nothing, so
 	// stable hot sets stay put instead of bouncing at every boundary.
-	resident := make(chunkSet)
+	resident := make(planSet, p.words)
 	for _, o := range r.g.Objects {
-		for _, ref := range r.chunkRefs(o.ID) {
+		base := r.st.ChunkBase(o.ID)
+		for i, ref := range r.st.Refs(o.ID) {
 			if r.st.Tier(ref) == mem.InDRAM {
-				resident[ref] = true
+				resident.set(base + i)
 			}
 		}
 	}
+	agg := make([]float64, p.nobj)
 	for lv, tasks := range byLevel {
 		if len(tasks) == 0 {
 			continue
 		}
-		// Aggregate benefit per object over the level's tasks.
-		agg := make(map[task.ObjectID]float64)
+		// Aggregate benefit per object over the level's tasks, visited in
+		// ascending object order (see plan_ref.go on determinism).
+		objs := make([]task.ObjectID, 0, 8)
 		for _, t := range tasks {
+			k := p.kindOf[t.ID]
 			for _, a := range t.Accesses {
-				agg[a.Obj] += r.benefitPerExec(t.Kind, a.Obj)
+				if !p.objMark[a.Obj] {
+					p.objMark[a.Obj] = true
+					objs = append(objs, a.Obj)
+				}
+				agg[a.Obj] += p.benefit(r, k, a.Obj)
 			}
 		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
 		var cand []placement.Item
-		for obj, benefit := range agg {
+		for _, obj := range objs {
+			benefit := agg[obj]
 			if benefit <= 0 {
 				continue
 			}
-			refs := r.chunkRefs(obj)
+			refs := r.st.Refs(obj)
 			each := benefit / float64(len(refs))
-			for _, ref := range refs {
-				size := r.st.ChunkSize(ref)
+			base := r.st.ChunkBase(obj)
+			for i, ref := range refs {
+				size := p.chunkSize[base+i]
 				w := each
-				if !resident[ref] {
+				if !resident.has(base + i) {
 					w -= r.params.MigrationCost(size, 0)
 				}
 				cand = append(cand, placement.Item{Ref: ref, Size: size, Weight: w})
 			}
 		}
-		items += len(cand)
-		chosen := placement.Knapsack(cand, r.cfg.HMS.DRAMCapacity, placement.DefaultGranularity)
-		target := make(chunkSet, len(chosen))
-		for _, i := range chosen {
-			target[cand[i].Ref] = true
+		for _, obj := range objs { // reset scratch for the next level
+			p.objMark[obj] = false
+			agg[obj] = 0
 		}
-		if len(target) == 0 {
+		items += len(cand)
+		chosen := p.solver.Solve(cand, r.cfg.HMS.DRAMCapacity, placement.DefaultGranularity)
+		if len(chosen) == 0 {
 			// No opinion: keep whatever is resident rather than flushing.
 			for _, t := range tasks {
 				predicted += r.estTaskSec(t, resident)
 			}
 			continue
 		}
-		perLevel[lv] = target
-		// Enforcement only demotes to make room, so residency grows to
-		// the union (capacity permitting); mirror that optimistically.
-		for ref := range target {
-			resident[ref] = true
+		target := make(planSet, p.words)
+		for _, i := range chosen {
+			ix := r.st.ChunkIndex(cand[i].Ref)
+			target.set(ix)
+			// Enforcement only demotes to make room, so residency grows to
+			// the union (capacity permitting); mirror that optimistically.
+			resident.set(ix)
 		}
+		perLevel[lv] = target
 		for _, t := range tasks {
 			predicted += r.estTaskSec(t, resident)
 		}

@@ -55,7 +55,7 @@ func (r *runner) applyInitialPlacement() error {
 
 	case DRAMOnly:
 		for _, o := range r.g.Objects {
-			for _, ref := range r.chunkRefs(o.ID) {
+			for _, ref := range r.st.Refs(o.ID) {
 				if err := r.st.Move(ref, mem.InDRAM); err != nil {
 					return err
 				}
@@ -104,7 +104,7 @@ func (r *runner) applyInitialPlacement() error {
 
 // placeIfFits promotes an object's chunks while they fit, free of charge.
 func (r *runner) placeIfFits(obj task.ObjectID) {
-	for _, ref := range r.chunkRefs(obj) {
+	for _, ref := range r.st.Refs(obj) {
 		if r.st.CanPromote(ref) {
 			_ = r.st.Move(ref, mem.InDRAM)
 		}
@@ -141,7 +141,7 @@ func (r *runner) placeXMem() error {
 	chosen := placement.Knapsack(items, r.cfg.HMS.DRAMCapacity, placement.DefaultGranularity)
 	for _, i := range chosen {
 		obj := items[i].Ref.Obj
-		for _, ref := range r.chunkRefs(obj) {
+		for _, ref := range r.st.Refs(obj) {
 			if err := r.st.Move(ref, mem.InDRAM); err != nil {
 				return err
 			}

@@ -108,6 +108,14 @@ type runner struct {
 	kindRemaining  map[string]int
 	kindSinceAudit map[string]int
 	auditDrift     map[string]int
+	// kindList fixes kind iteration order (first appearance in the graph)
+	// wherever float accumulation or candidate order would otherwise
+	// depend on Go's random map order.
+	kindList []string
+
+	// pt is the incremental planning state (profiling policies only);
+	// see plannerState in plan.go.
+	pt *plannerState
 
 	// Pair coverage: the plan must wait until every (kind, object) pair
 	// still occurring in the future has at least one profiled
@@ -299,6 +307,10 @@ func (r *runner) setup() error {
 	r.kindSinceAudit = make(map[string]int)
 	r.auditDrift = make(map[string]int)
 	r.promoBlock = make(map[heap.ChunkRef]bool)
+	r.kindList = r.g.Kinds()
+	if r.profilesKinds() {
+		r.pt = newPlannerState(r)
+	}
 
 	switch r.cfg.Scheduler {
 	case FIFOQueue:
@@ -429,6 +441,9 @@ const (
 func (r *runner) reopenKind(kind string) {
 	r.profiler.MarkStale(kind)
 	r.needReplan = true
+	if r.pt != nil {
+		r.pt.invalidateKindName(kind)
+	}
 	for k, seen := range r.pairSeen {
 		if seen && k.kind == kind {
 			r.pairSeen[k] = false
@@ -487,6 +502,9 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 		if r.pairRemaining[k] == 0 && !r.pairSeen[k] {
 			r.pairsNeeded--
 		}
+	}
+	if r.pt != nil {
+		r.pt.taskStarted(t)
 	}
 	if hw := r.st.DRAMUsed(); hw > r.highWater {
 		r.highWater = hw
@@ -623,6 +641,12 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 				}
 			}
 			dev := r.profiler.Record(prof.Exec{TaskID: t.ID, Kind: t.Kind, Duration: dur, Obs: obs})
+			if r.pt != nil {
+				// Profiled estimates are running means: every Record shifts
+				// the kind's benefits, so its cached pairs and totals go
+				// stale.
+				r.pt.invalidateKind(r.pt.kindOf[t.ID])
+			}
 			// Count-level drift: a periodic audit whose sampled counts
 			// disagree strongly with the stored profile means the kind's
 			// behaviour changed within known pairs. Two consecutive
@@ -774,19 +798,28 @@ func (r *runner) checkDrift(t *task.Task, dur float64, d model.Demand, load int)
 	return false
 }
 
+// planAudit, when set (by the equivalence test), receives every freshly
+// computed plan together with the future task list it was computed from,
+// before the winner is chosen or enforced.
+var planAudit func(r *runner, future []*task.Task, got planResult)
+
 // decidePlacement runs the searches the configuration enables, charges
 // the solver cost, and applies the winner.
 func (r *runner) decidePlacement(now float64) {
-	var future []*task.Task
+	// Tasks are stored in ID order, so the future list is born sorted.
+	future := r.pt.future[:0]
 	for _, t := range r.g.Tasks {
 		if !r.started[t.ID] {
 			future = append(future, t)
 		}
 	}
-	sort.Slice(future, func(i, j int) bool { return future[i].ID < future[j].ID })
+	r.pt.future = future
 
 	if r.cfg.Policy == PhaseBased {
 		r.plan = r.computeLevelPlan(future)
+		if planAudit != nil {
+			planAudit(r, future, r.plan)
+		}
 		r.finishPlan(now, r.plan.solverSec)
 		return
 	}
@@ -795,10 +828,16 @@ func (r *runner) decidePlacement(now float64) {
 	have := false
 	if r.cfg.Tech.GlobalSearch {
 		best = r.computeGlobalPlan(future)
+		if planAudit != nil {
+			planAudit(r, future, best)
+		}
 		have = true
 	}
 	if r.cfg.Tech.LocalSearch {
 		local := r.computeLocalPlan(future)
+		if planAudit != nil {
+			planAudit(r, future, local)
+		}
 		if !have || local.predicted < best.predicted {
 			local.solverSec += best.solverSec
 			best = local
@@ -856,22 +895,18 @@ func (r *runner) finishPlan(now float64, cost float64) {
 // enforceGlobal enqueues the one-time migrations of the global plan.
 // Residents outside the target are demoted only when a promotion needs
 // their space; gratuitous eviction of unmentioned data would churn.
+// Bitset iteration is ascending (object, chunk) order — the order the
+// map-based version sorted into. Filtering inline is equivalent to the
+// old collect-then-promote: a promotion's eviction victims are never in
+// the target set, so earlier promotions cannot change a later target
+// chunk's tier or busy state within this pass.
 func (r *runner) enforceGlobal() {
-	refs := make([]heap.ChunkRef, 0, len(r.plan.global))
-	for ref := range r.plan.global {
+	r.plan.global.forEach(func(ix int) {
+		ref := r.st.RefAt(ix)
 		if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
-			refs = append(refs, ref)
+			r.tryPromote(ref, r.plan.global, -1)
 		}
-	}
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Obj != refs[j].Obj {
-			return refs[i].Obj < refs[j].Obj
-		}
-		return refs[i].Index < refs[j].Index
 	})
-	for _, ref := range refs {
-		r.tryPromote(ref, r.plan.global, -1)
-	}
 }
 
 // enforceLevel enqueues the PhaseBased plan for a level (once per level),
@@ -887,21 +922,12 @@ func (r *runner) enforceLevel(lv int) {
 		r.levelEnforced[l] = true
 		target := r.plan.perLevel[l]
 		// Promote the level's targets, demoting only as space requires.
-		refs := make([]heap.ChunkRef, 0, len(target))
-		for ref := range target {
+		target.forEach(func(ix int) {
+			ref := r.st.RefAt(ix)
 			if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
-				refs = append(refs, ref)
+				r.tryPromote(ref, target, -1)
 			}
-		}
-		sort.Slice(refs, func(i, j int) bool {
-			if refs[i].Obj != refs[j].Obj {
-				return refs[i].Obj < refs[j].Obj
-			}
-			return refs[i].Index < refs[j].Index
 		})
-		for _, ref := range refs {
-			r.tryPromote(ref, target, -1)
-		}
 	}
 }
 
@@ -932,13 +958,10 @@ func (r *runner) proactiveScan() {
 	// chosen outside this union, so one task's promotion never evicts a
 	// chunk another task in the same window is about to need — per-task
 	// keep-sets would fight each other and triple the data movement.
-	type want struct {
-		ref heap.ChunkRef
-		obj task.ObjectID
-		id  task.TaskID
-	}
-	var wants []want
-	windowKeep := make(chunkSet)
+	p := r.pt
+	windowKeep := p.keep
+	windowKeep.clearAll()
+	wants := p.wants[:0]
 	count := 0
 	for id := r.frontier(); int(id) < len(r.g.Tasks) && count < r.cfg.Lookahead; id++ {
 		if r.started[id] {
@@ -949,29 +972,31 @@ func (r *runner) proactiveScan() {
 		if target == nil {
 			continue
 		}
-		for ref := range target {
-			windowKeep[ref] = true
-		}
+		windowKeep.orWith(target)
 		t := r.g.Task(id)
 		for _, a := range t.Accesses {
-			for _, ref := range r.chunkRefs(a.Obj) {
-				if !target[ref] || r.st.Tier(ref) == mem.InDRAM || r.mig.Busy(ref) || r.promoBlock[ref] {
+			base := r.st.ChunkBase(a.Obj)
+			for i, ref := range r.st.Refs(a.Obj) {
+				if !target.has(base+i) || r.st.Tier(ref) == mem.InDRAM || r.mig.Busy(ref) || r.promoBlock[ref] {
 					continue
 				}
 				if !r.safeFor(a.Obj, id) {
 					continue
 				}
-				wants = append(wants, want{ref, a.Obj, id})
+				wants = append(wants, wantPromo{base + i, a.Obj, id})
 			}
 		}
 	}
-	seen := make(map[heap.ChunkRef]bool, len(wants))
+	p.wants = wants
+	seen := p.seen
+	seen.clearAll()
 	for _, w := range wants {
-		if seen[w.ref] || r.mig.Busy(w.ref) {
+		ref := r.st.RefAt(w.ix)
+		if seen.has(w.ix) || r.mig.Busy(ref) {
 			continue
 		}
-		seen[w.ref] = true
-		r.tryPromote(w.ref, windowKeep, w.id)
+		seen.set(w.ix)
+		r.tryPromote(ref, windowKeep, w.id)
 	}
 }
 
@@ -980,7 +1005,7 @@ func (r *runner) proactiveScan() {
 // projected DRAM headroom actually covers it — a promotion that cannot
 // fit (its would-be victims are in use) is silently skipped and retried
 // on a later scan, rather than enqueued to fail and stall dispatch.
-func (r *runner) tryPromote(ref heap.ChunkRef, keep chunkSet, forTask task.TaskID) bool {
+func (r *runner) tryPromote(ref heap.ChunkRef, keep planSet, forTask task.TaskID) bool {
 	size := r.st.ChunkSize(ref)
 	r.makeRoom(size, keep, forTask)
 	if r.st.DRAMAvail()-r.pendingDRAM < size {
@@ -992,7 +1017,7 @@ func (r *runner) tryPromote(ref heap.ChunkRef, keep chunkSet, forTask task.TaskI
 
 // makeRoom enqueues demotions of the farthest-next-use DRAM residents not
 // wanted by the current target set until size bytes fit.
-func (r *runner) makeRoom(size int64, keep chunkSet, forTask task.TaskID) {
+func (r *runner) makeRoom(size int64, keep planSet, forTask task.TaskID) {
 	free := r.st.DRAMAvail() - r.pendingDRAM
 	if free >= size {
 		return
@@ -1006,8 +1031,9 @@ func (r *runner) makeRoom(size int64, keep chunkSet, forTask task.TaskID) {
 		if r.inUse[o.ID] > 0 || r.mig.BusyObject(o.ID) {
 			continue
 		}
-		for _, ref := range r.chunkRefs(o.ID) {
-			if r.st.Tier(ref) != mem.InDRAM || keep[ref] {
+		base := r.st.ChunkBase(o.ID)
+		for i, ref := range r.st.Refs(o.ID) {
+			if r.st.Tier(ref) != mem.InDRAM || keep.has(base+i) {
 				continue
 			}
 			next := len(r.g.Tasks) + 1
@@ -1041,8 +1067,9 @@ func (r *runner) requestFor(t *task.Task) {
 		return
 	}
 	for _, a := range t.Accesses {
-		for _, ref := range r.chunkRefs(a.Obj) {
-			if target[ref] && r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) &&
+		base := r.st.ChunkBase(a.Obj)
+		for i, ref := range r.st.Refs(a.Obj) {
+			if target.has(base+i) && r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) &&
 				!r.promoBlock[ref] && r.safeFor(a.Obj, t.ID) {
 				r.tryPromote(ref, target, t.ID)
 			}
@@ -1051,7 +1078,7 @@ func (r *runner) requestFor(t *task.Task) {
 }
 
 // planTargetFor returns the plan's DRAM target set when task id runs.
-func (r *runner) planTargetFor(id task.TaskID) chunkSet {
+func (r *runner) planTargetFor(id task.TaskID) planSet {
 	switch r.plan.kind {
 	case "global":
 		return r.plan.global

@@ -45,6 +45,16 @@ type State struct {
 	dram *FreeList
 	nvm  *FreeList
 	objs []objState
+
+	// Chunk index: the partitioning is fixed at NewState, so every chunk
+	// gets a dense global index (objects in ID order, chunks in order
+	// within an object). Planners key bitsets and size tables off it and
+	// enumerate an object's chunks from the precomputed refs table
+	// without allocating.
+	refsFlat []ChunkRef
+	refs     [][]ChunkRef
+	base     []int
+	total    int
 }
 
 // NewState lays out the graph's objects on the HMS, all in NVM.
@@ -86,8 +96,44 @@ func NewState(hms mem.HMS, objects []*task.Object, chunksFor map[task.ObjectID]i
 		}
 		s.objs[o.ID] = objState{size: o.Size, chunks: chunks}
 	}
+	s.buildIndex()
 	return s, nil
 }
+
+// buildIndex precomputes the dense chunk index and per-object ref tables.
+func (s *State) buildIndex() {
+	s.base = make([]int, len(s.objs)+1)
+	for i := range s.objs {
+		s.base[i+1] = s.base[i] + len(s.objs[i].chunks)
+	}
+	s.total = s.base[len(s.objs)]
+	s.refsFlat = make([]ChunkRef, s.total)
+	s.refs = make([][]ChunkRef, len(s.objs))
+	for i := range s.objs {
+		lo, hi := s.base[i], s.base[i+1]
+		for j := lo; j < hi; j++ {
+			s.refsFlat[j] = ChunkRef{Obj: task.ObjectID(i), Index: j - lo}
+		}
+		s.refs[i] = s.refsFlat[lo:hi:hi]
+	}
+}
+
+// Refs returns the object's chunk references in index order. The slice is
+// precomputed and shared: callers must not mutate it.
+func (s *State) Refs(obj task.ObjectID) []ChunkRef { return s.refs[obj] }
+
+// TotalChunks returns the number of chunks across all objects.
+func (s *State) TotalChunks() int { return s.total }
+
+// ChunkIndex returns the chunk's dense global index in [0, TotalChunks).
+// Objects are laid out in ID order, chunks in index order within each.
+func (s *State) ChunkIndex(ref ChunkRef) int { return s.base[ref.Obj] + ref.Index }
+
+// ChunkBase returns the global index of the object's first chunk.
+func (s *State) ChunkBase(obj task.ObjectID) int { return s.base[obj] }
+
+// RefAt is the inverse of ChunkIndex.
+func (s *State) RefAt(ix int) ChunkRef { return s.refsFlat[ix] }
 
 // Chunks returns how many chunks the object was split into.
 func (s *State) Chunks(obj task.ObjectID) int { return len(s.objs[obj].chunks) }

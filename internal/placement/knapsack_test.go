@@ -151,3 +151,112 @@ func TestBruteForcePanicsBeyond20(t *testing.T) {
 	}()
 	BruteForce(make([]Item, 21), 10)
 }
+
+// Solver (memoized DP) properties.
+
+// TestSolverHitMatchesColdDP: on random instances — including negative
+// weights and granularity-rounding edges — a cache hit must return the
+// same indices a cold DP computes, and Hits/Misses must account every
+// call.
+func TestSolverHitMatchesColdDP(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		items := make([]Item, n)
+		for i := range items {
+			// Sizes straddle granularity multiples; weights span negative,
+			// zero and positive.
+			items[i] = item(i, int64(rng.Intn(200)+1), float64(rng.Intn(200)-60)/7)
+		}
+		capacity := int64(rng.Intn(500) + 1)
+		gran := int64(rng.Intn(9) + 1)
+		s := NewSolver()
+		first := s.Solve(items, capacity, gran)
+		second := s.Solve(items, capacity, gran)
+		if s.Hits != 1 || s.Misses != 1 || s.Len() != 1 {
+			return false
+		}
+		cold := Knapsack(items, capacity, gran)
+		if len(first) != len(cold) || len(second) != len(cold) {
+			return false
+		}
+		for i := range cold {
+			if first[i] != cold[i] || second[i] != cold[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolverKeyIgnoresRefs: the DP's answer is indices over the numeric
+// inputs, so items differing only in Ref must share one cache entry.
+func TestSolverKeyIgnoresRefs(t *testing.T) {
+	s := NewSolver()
+	a := []Item{item(0, 30, 2), item(1, 40, 3)}
+	b := []Item{item(7, 30, 2), item(9, 40, 3)}
+	s.Solve(a, 100, 1)
+	s.Solve(b, 100, 1)
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("refs leaked into the key: %d misses, %d hits", s.Misses, s.Hits)
+	}
+}
+
+// TestSolverKeyExact: any numeric change — capacity, granularity, a
+// size, or one weight bit — must miss rather than alias.
+func TestSolverKeyExact(t *testing.T) {
+	s := NewSolver()
+	base := []Item{item(0, 30, 2), item(1, 40, 3)}
+	s.Solve(base, 100, 1)
+
+	variants := [][]Item{
+		{item(0, 31, 2), item(1, 40, 3)},            // size
+		{item(0, 30, 2.0000000000000004), item(1, 40, 3)}, // one ULP
+		{item(0, 30, 2), item(1, 40, 3), item(2, 5, 1)},   // length
+	}
+	for i, v := range variants {
+		s.Solve(v, 100, 1)
+		if s.Hits != 0 {
+			t.Fatalf("variant %d aliased a different instance", i)
+		}
+	}
+	s.Solve(base, 101, 1) // capacity
+	s.Solve(base, 100, 2) // granularity
+	if s.Hits != 0 {
+		t.Fatal("capacity/granularity aliased")
+	}
+	s.Solve(base, 100, 1)
+	if s.Hits != 1 {
+		t.Fatal("identical re-solve missed")
+	}
+}
+
+// TestSolverNegativeAndZeroWeights: all-nonpositive instances solve to
+// nothing, cache fine, and stay consistent with the cold DP.
+func TestSolverNegativeAndZeroWeights(t *testing.T) {
+	s := NewSolver()
+	items := []Item{item(0, 10, -5), item(1, 10, 0), item(2, 10, -0.001)}
+	for i := 0; i < 3; i++ {
+		if got := s.Solve(items, 100, 1); got != nil {
+			t.Fatalf("nonpositive weights chose %v", got)
+		}
+	}
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("cache accounting off: %d misses, %d hits", s.Misses, s.Hits)
+	}
+}
+
+// TestSolverZeroValueUsable: the zero Solver lazily allocates its cache.
+func TestSolverZeroValueUsable(t *testing.T) {
+	var s Solver
+	items := []Item{item(0, 10, 1)}
+	if got := s.Solve(items, 100, 1); len(got) != 1 {
+		t.Fatalf("zero-value Solver chose %v", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("cache len %d", s.Len())
+	}
+}

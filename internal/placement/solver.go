@@ -1,0 +1,64 @@
+package placement
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Solver memoizes Knapsack solutions. Task-parallel graphs are built from
+// a handful of task kinds, so the per-task local search poses the same
+// candidate pattern (sizes, weights, capacity) over and over; the solver
+// keys each call by an exact canonical signature of its inputs and pays a
+// map lookup on repeats instead of re-running the DP. This is what makes
+// the planner's solverSec accounting (20 table builds per kind plus a
+// lookup per item) honest.
+//
+// The signature covers capacity, granularity, and every item's (Size,
+// Float64bits(Weight)) in order. Item Refs are deliberately excluded: the
+// DP's answer is a list of item *indices*, which depends only on the
+// numeric inputs, never on which chunks the indices name. Because keys
+// compare the exact weight bits, a hit returns bit-identical results to a
+// cold DP by construction.
+//
+// A Solver is not safe for concurrent use; give each runner its own.
+// The cache grows with the number of distinct candidate patterns seen,
+// which a runner's fixed kind set keeps small.
+type Solver struct {
+	cache map[string][]int
+	key   []byte
+
+	// Hits and Misses count Solve outcomes, for tests and benchmarks.
+	Hits, Misses int
+}
+
+// NewSolver returns an empty Solver.
+func NewSolver() *Solver {
+	return &Solver{cache: make(map[string][]int)}
+}
+
+// Solve returns Knapsack(items, capacity, gran), memoized. The returned
+// slice is shared with the cache: callers must not mutate it.
+func (s *Solver) Solve(items []Item, capacity, gran int64) []int {
+	if s.cache == nil {
+		s.cache = make(map[string][]int)
+	}
+	k := s.key[:0]
+	k = binary.LittleEndian.AppendUint64(k, uint64(capacity))
+	k = binary.LittleEndian.AppendUint64(k, uint64(gran))
+	for _, it := range items {
+		k = binary.LittleEndian.AppendUint64(k, uint64(it.Size))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(it.Weight))
+	}
+	s.key = k
+	if chosen, ok := s.cache[string(k)]; ok {
+		s.Hits++
+		return chosen
+	}
+	s.Misses++
+	chosen := Knapsack(items, capacity, gran)
+	s.cache[string(k)] = chosen
+	return chosen
+}
+
+// Len returns the number of cached solutions.
+func (s *Solver) Len() int { return len(s.cache) }

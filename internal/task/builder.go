@@ -110,5 +110,6 @@ func (b *Builder) Submit(kind string, cpuSec float64, accesses []Access, run fun
 func (b *Builder) Build() *Graph {
 	g := b.g
 	b.g = nil
+	g.kindNames, g.kindOf = buildKindTable(g.Tasks)
 	return g
 }

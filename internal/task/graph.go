@@ -18,6 +18,48 @@ type Graph struct {
 	// that dependence-safety requires to finish before the object may be
 	// migrated for t.
 	usersOf map[ObjectID][]TaskID
+
+	// Kind table, precomputed by Build: kinds in first-appearance order
+	// and each task's index into it. Gives planners a deterministic
+	// iteration order over kinds (string-keyed maps do not) and dense
+	// per-kind arrays instead of map lookups.
+	kindNames []string
+	kindOf    []int32
+}
+
+// buildKindTable derives the kind table from a task list.
+func buildKindTable(tasks []*Task) ([]string, []int32) {
+	names := make([]string, 0, 8)
+	index := make(map[string]int32, 8)
+	of := make([]int32, len(tasks))
+	for i, t := range tasks {
+		k, ok := index[t.Kind]
+		if !ok {
+			k = int32(len(names))
+			index[t.Kind] = k
+			names = append(names, t.Kind)
+		}
+		of[i] = k
+	}
+	return names, of
+}
+
+// Kinds returns the distinct task kinds in first-appearance order.
+func (g *Graph) Kinds() []string {
+	if g.kindNames == nil && len(g.Tasks) > 0 {
+		names, _ := buildKindTable(g.Tasks) // graph built without Builder
+		return names
+	}
+	return g.kindNames
+}
+
+// KindIndex returns task id's index into Kinds().
+func (g *Graph) KindIndex(id TaskID) int {
+	if g.kindOf == nil && len(g.Tasks) > 0 {
+		_, of := buildKindTable(g.Tasks)
+		return int(of[id])
+	}
+	return int(g.kindOf[id])
 }
 
 // Object returns the object with the given ID.

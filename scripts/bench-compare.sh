@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-20x}"
 
 out="$(go test -run '^$' \
-  -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick' \
+  -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick|BenchmarkPlannerGlobal$|BenchmarkPlannerLocal$|BenchmarkPlannerReplan$' \
   -benchtime "$benchtime" -count 1 .)"
 echo "$out"
 

@@ -1,9 +1,12 @@
 package tahoe
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -196,6 +199,50 @@ func TestExperimentShapes(t *testing.T) {
 				t.Fatalf("E1 %s: non-monotonic slowdown %v", row[0], row)
 			}
 			prev = v
+		}
+	}
+}
+
+// TestFFTOptaneManaged covers the fft workload on the Optane machine in
+// both read/write-modeling modes (it began life as a debug print loop):
+// the managed run must plan, migrate, clearly beat NVM-only, and be
+// deterministic run to run.
+func TestFFTOptaneManaged(t *testing.T) {
+	h := hmsOptane()
+	w, err := BuildWorkload("fft", WorkloadParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nvm, err := core.Run(w.Graph, expConfig(h, core.NVMOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range []bool{true, false} {
+		cfg := expConfig(h, core.Tahoe)
+		cfg.Tech.DistinguishRW = rw
+		res, err := core.Run(w.Graph, cfg)
+		if err != nil {
+			t.Fatalf("rw=%v: %v", rw, err)
+		}
+		if res.Tasks != len(w.Graph.Tasks) {
+			t.Fatalf("rw=%v: completed %d of %d tasks", rw, res.Tasks, len(w.Graph.Tasks))
+		}
+		if res.PlanKind == "" {
+			t.Fatalf("rw=%v: no plan", rw)
+		}
+		if res.Migration.Migrations == 0 || res.Migration.BytesMoved == 0 {
+			t.Fatalf("rw=%v: no migrations (%+v)", rw, res.Migration)
+		}
+		if res.Time >= nvm.Time*0.5 {
+			t.Fatalf("rw=%v: managed %g vs NVM-only %g, want < half", rw, res.Time, nvm.Time)
+		}
+		again, err := core.Run(w.Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(again.Time) != math.Float64bits(res.Time) ||
+			again.Migration != res.Migration || again.PlanKind != res.PlanKind {
+			t.Fatalf("rw=%v: run not deterministic: %+v vs %+v", rw, res, again)
 		}
 	}
 }
