@@ -230,6 +230,7 @@ func BenchmarkLockFreeVsMutexPool(b *testing.B) {
 }
 
 func BenchmarkE16_ChunkGranularity(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17_Replay(b *testing.B)           { benchExperiment(b, "E17") }
 
 // Planner micro-benchmarks: the optimized searches and the retained
 // reference planner run on the same frozen mid-run state (profiled

@@ -21,6 +21,8 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/prof"
+	"repro/internal/sched"
+	"repro/internal/task"
 	"repro/internal/trace"
 )
 
@@ -194,6 +196,11 @@ type Config struct {
 	// Trace, if non-nil, records the run's task, migration and planning
 	// events for offline analysis.
 	Trace *trace.Trace
+	// NewQueue, if non-nil, overrides Scheduler with a custom ready-queue
+	// constructor. The replayer uses it to pin a recorded dispatch order;
+	// started reports whether a task has begun execution, letting such a
+	// queue skip recorded occurrences that this run already consumed.
+	NewQueue func(workers int, started func(task.TaskID) bool) sched.Queue
 }
 
 // DefaultConfig returns a full-system configuration on the given machine.

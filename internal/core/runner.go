@@ -312,19 +312,28 @@ func (r *runner) setup() error {
 		r.pt = newPlannerState(r)
 	}
 
-	switch r.cfg.Scheduler {
-	case FIFOQueue:
-		r.queue = sched.NewFIFO()
-	case LIFOQueue:
-		r.queue = sched.NewLIFO()
-	case RankSched:
-		rank := sched.UpwardRank(r.g, func(t *task.Task) float64 {
-			d := model.TaskDemand(t, r.cfg.HMS, func(task.ObjectID) float64 { return 0 })
-			return d.TotalSec()
+	if r.cfg.NewQueue != nil {
+		// Scheduler override (used by the replayer to pin a recorded
+		// dispatch order). The started probe reads r.started, which is
+		// already allocated above and mutated only by start().
+		r.queue = r.cfg.NewQueue(r.cfg.Workers, func(id task.TaskID) bool {
+			return int(id) < len(r.started) && r.started[id]
 		})
-		r.queue = sched.NewPriority(func(t *task.Task) float64 { return rank[t.ID] })
-	default:
-		r.queue = sched.NewWorkSteal(r.cfg.Workers)
+	} else {
+		switch r.cfg.Scheduler {
+		case FIFOQueue:
+			r.queue = sched.NewFIFO()
+		case LIFOQueue:
+			r.queue = sched.NewLIFO()
+		case RankSched:
+			rank := sched.UpwardRank(r.g, func(t *task.Task) float64 {
+				d := model.TaskDemand(t, r.cfg.HMS, func(task.ObjectID) float64 { return 0 })
+				return d.TotalSec()
+			})
+			r.queue = sched.NewPriority(func(t *task.Task) float64 { return rank[t.ID] })
+		default:
+			r.queue = sched.NewWorkSteal(r.cfg.Workers)
+		}
 	}
 	r.freeWorkers = make([]int, 0, r.cfg.Workers)
 	for w := r.cfg.Workers - 1; w >= 0; w-- {
@@ -405,6 +414,13 @@ func (r *runner) dispatch(now float64) {
 		t, ok := r.queue.Pop(w)
 		if !ok {
 			break
+		}
+		// Record the pop, not the start: a popped task may block on an
+		// in-flight migration (with CancelQueued side effects at this very
+		// instant) and be dispatched again later, so only the pop sequence
+		// is the scheduler's complete, replayable decision record.
+		if r.cfg.Trace != nil {
+			r.cfg.Trace.AddDispatch(trace.Dispatch{Time: now, Task: t.ID, Worker: w})
 		}
 		// Reactive migration: if the plan wants this task's data moved
 		// and it has not happened yet, request it now and wait.
@@ -571,7 +587,7 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace.Add(trace.Event{
-			Time: now, Kind: trace.TaskStart, Task: t.ID, TaskKind: t.Kind, Worker: w,
+			Time: now, Kind: trace.TaskStart, Task: t.ID, TaskKind: t.Kind, Worker: w, OK: true,
 		})
 	}
 	load := r.cfg.Workers - len(r.freeWorkers) + 1
@@ -606,7 +622,7 @@ func (r *runner) profilesKinds() bool {
 func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Demand, load int, profiled bool) {
 	if r.cfg.Trace != nil {
 		r.cfg.Trace.Add(trace.Event{
-			Time: end, Kind: trace.TaskEnd, Task: t.ID, TaskKind: t.Kind, Worker: w,
+			Time: end, Kind: trace.TaskEnd, Task: t.ID, TaskKind: t.Kind, Worker: w, OK: true,
 		})
 	}
 	r.finished[t.ID] = true
@@ -864,10 +880,18 @@ type traceObserver struct{ t *trace.Trace }
 
 func (o traceObserver) CopyStarted(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
 	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationStart,
-		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes, OK: true})
 }
 
 func (o traceObserver) CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, ok bool) {
+	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationEnd,
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes, OK: ok})
+}
+
+// CopyDropped records a promotion abandoned before its copy started (no
+// DRAM room): a lone MigrationEnd with OK=false, distinguishable from a
+// completed move in the timeline, CSV, and any replay.
+func (o traceObserver) CopyDropped(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
 	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationEnd,
 		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
 }
@@ -876,7 +900,7 @@ func (o traceObserver) CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier,
 func (r *runner) finishPlan(now float64, cost float64) {
 	r.planned = true
 	if r.cfg.Trace != nil {
-		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.Plan, Label: r.plan.kind})
+		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.Plan, Label: r.plan.kind, OK: true})
 	}
 	cost *= r.cfg.Overheads.PlanPerItemSec / solverItemSec // scale by config
 	r.overheadSec += cost
@@ -1007,7 +1031,7 @@ func (r *runner) proactiveScan() {
 // on a later scan, rather than enqueued to fail and stall dispatch.
 func (r *runner) tryPromote(ref heap.ChunkRef, keep planSet, forTask task.TaskID) bool {
 	size := r.st.ChunkSize(ref)
-	r.makeRoom(size, keep, forTask)
+	r.makeRoom(size, keep)
 	if r.st.DRAMAvail()-r.pendingDRAM < size {
 		return false
 	}
@@ -1017,7 +1041,7 @@ func (r *runner) tryPromote(ref heap.ChunkRef, keep planSet, forTask task.TaskID
 
 // makeRoom enqueues demotions of the farthest-next-use DRAM residents not
 // wanted by the current target set until size bytes fit.
-func (r *runner) makeRoom(size int64, keep planSet, forTask task.TaskID) {
+func (r *runner) makeRoom(size int64, keep planSet) {
 	free := r.st.DRAMAvail() - r.pendingDRAM
 	if free >= size {
 		return
@@ -1036,8 +1060,15 @@ func (r *runner) makeRoom(size int64, keep planSet, forTask task.TaskID) {
 			if r.st.Tier(ref) != mem.InDRAM || keep.has(base+i) {
 				continue
 			}
+			// A victim's next use is its first unstarted user, so the scan
+			// must originate at the execution frontier. Anchoring it at the
+			// promotion's beneficiary task gave garbage orderings: global
+			// enforcement passes use forTask == -1 (yielding the object's
+			// first-ever, usually finished, user), and far-ahead proactive
+			// promotions skipped every use between the frontier and the
+			// beneficiary. Same origin as the planners (plan.go, plan_ref.go).
 			next := len(r.g.Tasks) + 1
-			if nu, ok := r.g.NextUser(o.ID, forTask-1); ok {
+			if nu, ok := r.g.NextUser(o.ID, r.frontier()-1); ok {
 				next = int(nu)
 			}
 			victims = append(victims, victim{ref, next})

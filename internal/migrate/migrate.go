@@ -57,9 +57,13 @@ func (s Stats) OverlapFraction() float64 {
 }
 
 // Observer receives copy lifecycle notifications (e.g. for tracing).
+// CopyDropped reports a promotion abandoned before the copy started
+// (no DRAM room at dequeue time): no CopyStarted precedes it and no
+// helper-thread time was consumed.
 type Observer interface {
 	CopyStarted(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64)
 	CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, ok bool)
+	CopyDropped(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64)
 }
 
 // Engine is the helper thread. It is driven entirely by the simulation
@@ -165,61 +169,80 @@ func (m *Engine) Stats() Stats { return m.stats }
 // CopyBusySec returns the helper thread's accumulated busy time.
 func (m *Engine) CopyBusySec() float64 { return m.copyRes.BusySec() }
 
-// kick starts the next copy if the helper thread is idle.
+// settle completes a request that will never occupy the copy channel:
+// its pending count drops immediately — so Busy/InFlight stop naming it
+// the moment it is dequeued, exactly as CancelQueued does — while the
+// Done callback fires at a zero-delay event like every other completion.
+func (m *Engine) settle(r Request, ok bool) {
+	m.pending[r.Ref]--
+	if m.pending[r.Ref] == 0 {
+		delete(m.pending, r.Ref)
+	}
+	if r.Done != nil {
+		done := r.Done
+		m.sim.After(0, func(now float64) { done(now, ok) })
+	}
+}
+
+// kick starts the next real copy if the helper thread is idle. Requests
+// that became moot while queued (chunk already at the target tier) or
+// cannot proceed (no DRAM room) are settled on the spot without claiming
+// the channel: claiming it, as an earlier version did, made InFlight
+// report a copy that never starts until the zero-delay callback fired,
+// and the runtime would block a ready task on that phantom. Skipping
+// them inline also keeps FIFO order for the real copies behind them.
 func (m *Engine) kick() {
-	if m.busy || len(m.queue) == 0 {
-		return
-	}
-	r := m.queue[0]
-	m.queue = m.queue[1:]
-	m.busy = true
-	m.current = r.Ref
+	for !m.busy && len(m.queue) > 0 {
+		r := m.queue[0]
+		m.queue = m.queue[1:]
 
-	finish := func(now float64, ok bool) {
-		m.pending[r.Ref]--
-		if m.pending[r.Ref] == 0 {
-			delete(m.pending, r.Ref)
+		if m.state.Tier(r.Ref) == r.To {
+			// Became moot while queued (e.g. duplicate requests).
+			m.settle(r, true)
+			continue
 		}
-		m.busy = false
-		if r.Done != nil {
-			r.Done(now, ok)
-		}
-		m.kick()
-	}
-
-	if m.state.Tier(r.Ref) == r.To {
-		// Became moot while queued (e.g. duplicate requests).
-		m.sim.After(0, func(now float64) { finish(now, true) })
-		return
-	}
-	if r.To == mem.InDRAM && !m.state.CanPromote(r.Ref) {
-		// No room: drop the promotion. The data stays readable in NVM.
-		m.stats.Failed++
-		m.sim.After(0, func(now float64) { finish(now, false) })
-		return
-	}
-
-	size := m.state.ChunkSize(r.Ref)
-	if m.Observer != nil {
-		m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
-	}
-	m.sim.StartFlow(&sim.Flow{
-		Label:  "migrate:" + r.Ref.String(),
-		Stages: []sim.Stage{{Res: m.copyRes, Bytes: float64(size)}},
-		OnDone: func(now float64) {
-			err := m.state.Move(r.Ref, r.To)
-			ok := err == nil
-			if ok {
-				m.stats.Migrations++
-				m.stats.BytesMoved += size
-			} else {
-				m.stats.Failed++
-			}
-			m.stats.CopySec += float64(size) / m.copyRes.Bandwidth()
+		if r.To == mem.InDRAM && !m.state.CanPromote(r.Ref) {
+			// No room: drop the promotion. The data stays readable in NVM.
+			m.stats.Failed++
 			if m.Observer != nil {
-				m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
+				m.Observer.CopyDropped(m.sim.Now(), r.Ref, r.To, m.state.ChunkSize(r.Ref))
 			}
-			finish(now, ok)
-		},
-	})
+			m.settle(r, false)
+			continue
+		}
+
+		m.busy = true
+		m.current = r.Ref
+		size := m.state.ChunkSize(r.Ref)
+		if m.Observer != nil {
+			m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
+		}
+		m.sim.StartFlow(&sim.Flow{
+			Label:  "migrate:" + r.Ref.String(),
+			Stages: []sim.Stage{{Res: m.copyRes, Bytes: float64(size)}},
+			OnDone: func(now float64) {
+				err := m.state.Move(r.Ref, r.To)
+				ok := err == nil
+				if ok {
+					m.stats.Migrations++
+					m.stats.BytesMoved += size
+				} else {
+					m.stats.Failed++
+				}
+				m.stats.CopySec += float64(size) / m.copyRes.Bandwidth()
+				if m.Observer != nil {
+					m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
+				}
+				m.pending[r.Ref]--
+				if m.pending[r.Ref] == 0 {
+					delete(m.pending, r.Ref)
+				}
+				m.busy = false
+				if r.Done != nil {
+					r.Done(now, ok)
+				}
+				m.kick()
+			},
+		})
+	}
 }

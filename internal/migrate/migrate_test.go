@@ -154,6 +154,96 @@ func TestOverlapAccounting(t *testing.T) {
 	}
 }
 
+// countObserver tallies lifecycle notifications.
+type countObserver struct{ started, finished, failedFinish, dropped int }
+
+func (o *countObserver) CopyStarted(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
+	o.started++
+}
+func (o *countObserver) CopyFinished(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, ok bool) {
+	o.finished++
+	if !ok {
+		o.failedFinish++
+	}
+}
+func (o *countObserver) CopyDropped(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
+	o.dropped++
+}
+
+// TestNoRoomDropDoesNotClaimChannel pins the fix for the phantom
+// in-flight bug on the no-room path: a promotion dropped for lack of
+// DRAM room must never appear as an in-flight (or even busy) copy — the
+// pre-fix kick claimed busy/current until a zero-delay callback fired,
+// and the runtime would block a ready task on that phantom.
+func TestNoRoomDropDoesNotClaimChannel(t *testing.T) {
+	e, st, m := setup(t, 64*mem.MB) // too small for the 100 MB chunk
+	obs := &countObserver{}
+	m.Observer = obs
+	ref := heap.ChunkRef{Obj: 0}
+	doneOK := true
+	m.Enqueue(Request{Ref: ref, To: mem.InDRAM,
+		Done: func(now float64, ok bool) { doneOK = ok }})
+	// The drop is decided synchronously at dequeue: the chunk must not
+	// be reported busy or in flight while the Done callback is pending.
+	if m.InFlight(ref) {
+		t.Fatal("dropped promotion reported in flight")
+	}
+	if m.Busy(ref) {
+		t.Fatal("dropped promotion still busy")
+	}
+	e.Run()
+	if doneOK {
+		t.Fatal("Done not called with ok=false")
+	}
+	if st.Tier(ref) != mem.InNVM {
+		t.Fatal("chunk moved despite drop")
+	}
+	if obs.dropped != 1 || obs.started != 0 || obs.finished != 0 {
+		t.Fatalf("observer = %+v, want exactly one drop and no copy", obs)
+	}
+	if s := m.Stats(); s.Failed != 1 || s.Migrations != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestMootRequestDoesNotClaimChannel pins the same fix on the moot
+// path: a duplicate request whose chunk reached the target tier while
+// queued must be skipped without occupying the channel, so the real
+// copy behind it starts immediately and InFlight never names the moot
+// chunk after its data has settled.
+func TestMootRequestDoesNotClaimChannel(t *testing.T) {
+	e, st, m := setup(t, 512*mem.MB)
+	refA := heap.ChunkRef{Obj: 0}
+	refB := heap.ChunkRef{Obj: 1, Index: 0}
+	probed := false
+	m.Enqueue(Request{Ref: refA, To: mem.InDRAM,
+		Done: func(now float64, ok bool) {
+			// A just landed in DRAM, making the duplicate behind us moot.
+			// Probe after the dequeue cascade at this same instant.
+			e.After(0, func(float64) {
+				probed = true
+				if st.Tier(refA) != mem.InDRAM {
+					t.Error("A not promoted")
+				}
+				if m.InFlight(refA) || m.Busy(refA) {
+					t.Error("moot duplicate claims the channel or stays busy")
+				}
+				if !m.InFlight(refB) {
+					t.Error("real copy behind the moot duplicate not started")
+				}
+			})
+		}})
+	m.Enqueue(Request{Ref: refA, To: mem.InDRAM}) // becomes moot at dequeue
+	m.Enqueue(Request{Ref: refB, To: mem.InDRAM})
+	e.Run()
+	if !probed {
+		t.Fatal("probe never ran")
+	}
+	if s := m.Stats(); s.Migrations != 2 || s.Failed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
 func TestQueueLenAndBusyObject(t *testing.T) {
 	e, _, m := setup(t, 512*mem.MB)
 	m.Enqueue(Request{Ref: heap.ChunkRef{Obj: 1, Index: 0}, To: mem.InDRAM})

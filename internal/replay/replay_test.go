@@ -1,0 +1,172 @@
+package replay
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/task"
+	"repro/internal/workloads"
+)
+
+func buildGraph(t *testing.T, name string) *task.Graph {
+	t.Helper()
+	s, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Build(workloads.Params{}).Graph
+}
+
+func testConfig(p core.Policy) core.Config {
+	cfg := core.DefaultConfig(mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 96*mem.MB))
+	cfg.Policy = p
+	return cfg
+}
+
+func TestRecordCapturesDispatches(t *testing.T) {
+	g := buildGraph(t, "cg")
+	res, rec, err := Record(g, testConfig(core.Tahoe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != len(g.Tasks) {
+		t.Fatalf("ran %d of %d tasks", res.Tasks, len(g.Tasks))
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Trace.Dispatches) < len(g.Tasks) {
+		t.Fatalf("%d dispatches for %d tasks", len(rec.Trace.Dispatches), len(g.Tasks))
+	}
+	if rec.Meta.Workload != g.Name || rec.Meta.Policy != "Tahoe" || rec.Meta.Tasks != len(g.Tasks) {
+		t.Fatalf("meta = %+v", rec.Meta)
+	}
+	// Every task appears in the dispatch order at least once.
+	seen := map[task.TaskID]bool{}
+	for _, id := range rec.Order() {
+		seen[id] = true
+	}
+	if len(seen) != len(g.Tasks) {
+		t.Fatalf("dispatch order covers %d of %d tasks", len(seen), len(g.Tasks))
+	}
+}
+
+// TestSameConfigReplayBitIdentical is the package-level fidelity check
+// (the root package's TestReplayFidelity extends it to more workloads):
+// replaying under the recording's own machine and policy must reproduce
+// the Result exactly, bit for bit.
+func TestSameConfigReplayBitIdentical(t *testing.T) {
+	g := buildGraph(t, "heat")
+	cfg := testConfig(core.Tahoe)
+	orig, rec, err := Record(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Replay(g, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
+		t.Fatalf("makespan diverged: %g vs %g", orig.Time, again.Time)
+	}
+	if orig != again {
+		t.Fatalf("replayed result differs:\n%+v\nvs:\n%+v", orig, again)
+	}
+}
+
+// TestCounterfactualReplays: the recorded schedule must complete under
+// machines and policies it was not recorded with.
+func TestCounterfactualReplays(t *testing.T) {
+	g := buildGraph(t, "cg")
+	_, rec, err := Record(g, testConfig(core.Tahoe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Policy{core.DRAMOnly, core.NVMOnly, core.XMem} {
+		res, err := Replay(g, testConfig(p), rec)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.Tasks != len(g.Tasks) {
+			t.Fatalf("%v: completed %d of %d", p, res.Tasks, len(g.Tasks))
+		}
+	}
+	// A slower NVM: same schedule, worse machine.
+	slow := testConfig(core.Tahoe)
+	slow.HMS = mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.25), 96*mem.MB)
+	res, err := Replay(g, slow, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != len(g.Tasks) {
+		t.Fatalf("slow NVM: completed %d of %d", res.Tasks, len(g.Tasks))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := buildGraph(t, "cg")
+	_, rec, err := Record(g, testConfig(core.Tahoe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first strings.Builder
+	if err := rec.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, rec) {
+		t.Fatalf("loaded recording differs: meta %+v vs %+v, %d/%d events, %d/%d dispatches",
+			loaded.Meta, rec.Meta,
+			len(loaded.Trace.Events), len(rec.Trace.Events),
+			len(loaded.Trace.Dispatches), len(rec.Trace.Dispatches))
+	}
+	var second strings.Builder
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatal("save → load → save not byte-identical")
+	}
+	// And a loaded recording replays with full fidelity too.
+	cfg := testConfig(core.Tahoe)
+	orig, err := Replay(g, cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Replay(g, cfg, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != again {
+		t.Fatalf("loaded replay differs: %+v vs %+v", orig, again)
+	}
+}
+
+func TestReplayRejectsBadInput(t *testing.T) {
+	g := buildGraph(t, "cg")
+	_, rec, err := Record(g, testConfig(core.Tahoe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := buildGraph(t, "heat")
+	if _, err := Replay(other, testConfig(core.Tahoe), rec); err == nil {
+		t.Fatal("replay accepted the wrong graph")
+	}
+	empty := &Recording{Meta: rec.Meta, Trace: nil}
+	if _, err := Replay(g, testConfig(core.Tahoe), empty); err == nil {
+		t.Fatal("replay accepted a trace-less recording")
+	}
+	if _, err := Load(strings.NewReader("{\"k\":\"dispatch\"}\n")); err == nil {
+		t.Fatal("Load accepted input without a meta header")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("Load accepted empty input")
+	}
+}

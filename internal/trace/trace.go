@@ -7,6 +7,8 @@
 package trace
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -47,6 +49,16 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k := TaskStart; k <= Plan; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
 // Event is one timeline entry.
 type Event struct {
 	Time float64
@@ -60,17 +72,40 @@ type Event struct {
 	Chunk int
 	To    mem.Tier
 	Bytes int64
+	// OK reports the event's outcome: false only for a MigrationEnd whose
+	// movement did not happen (a promotion dropped or failed for lack of
+	// DRAM room — the data stayed put). A dropped promotion appears as a
+	// lone MigrationEnd with OK=false and no matching MigrationStart.
+	OK bool
 	// Plan fields.
 	Label string
+}
+
+// Dispatch is one scheduler decision: the runtime handed task Task to
+// worker Worker at Time. Unlike TaskStart, a dispatch whose task finds
+// its data mid-migration blocks instead of starting (and is dispatched
+// again later), so the dispatch sequence — not the start sequence — is
+// the scheduler's complete decision record, and is what a replayer must
+// pin to isolate placement effects from scheduling.
+type Dispatch struct {
+	Time   float64
+	Task   task.TaskID
+	Worker int
 }
 
 // Trace is an in-memory event log. The zero value is ready to use.
 type Trace struct {
 	Events []Event
+	// Dispatches records the scheduler's decisions in order; together
+	// with Events it forms a complete, replayable run recording.
+	Dispatches []Dispatch
 }
 
 // Add appends one event.
 func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+
+// AddDispatch appends one scheduler decision.
+func (t *Trace) AddDispatch(d Dispatch) { t.Dispatches = append(t.Dispatches, d) }
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.Events) }
@@ -144,16 +179,23 @@ func (t *Trace) ByKind() []KindStats {
 	return out
 }
 
-// MigrationRecord is one completed copy.
+// MigrationRecord is one migration decision. OK=false means the
+// movement did not happen: either the copy ran and found no DRAM room
+// at completion time, or the request was dropped before starting (then
+// Start == End and no copy channel time was consumed).
 type MigrationRecord struct {
 	Start, End float64
 	Obj        task.ObjectID
 	Chunk      int
 	To         mem.Tier
 	Bytes      int64
+	OK         bool
 }
 
-// Migrations pairs migration starts with ends, in completion order.
+// Migrations pairs migration starts with ends, in completion order. A
+// MigrationEnd with OK=false and no open MigrationStart is a dropped
+// request and becomes a zero-duration failed record; an unmatched end
+// with OK=true is corrupt input and is ignored.
 func (t *Trace) Migrations() []MigrationRecord {
 	type key struct {
 		obj   task.ObjectID
@@ -169,17 +211,48 @@ func (t *Trace) Migrations() []MigrationRecord {
 		case MigrationEnd:
 			q := open[k]
 			if len(q) == 0 {
+				if !e.OK {
+					out = append(out, MigrationRecord{
+						Start: e.Time, End: e.Time,
+						Obj: e.Obj, Chunk: e.Chunk, To: e.To, Bytes: e.Bytes,
+					})
+				}
 				continue
 			}
 			s := q[0]
 			open[k] = q[1:]
 			out = append(out, MigrationRecord{
 				Start: s.Time, End: e.Time,
-				Obj: e.Obj, Chunk: e.Chunk, To: e.To, Bytes: e.Bytes,
+				Obj: e.Obj, Chunk: e.Chunk, To: e.To, Bytes: e.Bytes, OK: e.OK,
 			})
 		}
 	}
 	return out
+}
+
+// MigrationStats aggregates the migration records: successful copies
+// move bytes and occupy the copy channel; failed ones only record that
+// a decision was made and did not stick.
+type MigrationStats struct {
+	Count      int // successful migrations
+	Failed     int // failed or dropped migrations
+	BytesMoved int64
+	CopySec    float64
+}
+
+// MigrationStats summarizes Migrations().
+func (t *Trace) MigrationStats() MigrationStats {
+	var s MigrationStats
+	for _, m := range t.Migrations() {
+		if !m.OK {
+			s.Failed++
+			continue
+		}
+		s.Count++
+		s.BytesMoved += m.Bytes
+		s.CopySec += m.End - m.Start
+	}
+	return s
 }
 
 // Concurrency samples how many tasks ran at once: it returns the
@@ -216,23 +289,137 @@ func (t *Trace) Concurrency() (mean float64, peak int) {
 	return mean, peak
 }
 
-// WriteCSV dumps the raw event log.
+// WriteCSV dumps the raw event log. CSV is a lossy export for
+// spreadsheet analysis (it drops dispatch records); JSONL is the
+// canonical round-trippable form.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "time,kind,task,taskKind,worker,obj,chunk,to,bytes,label"); err != nil {
+	if _, err := fmt.Fprintln(w, "time,kind,task,taskKind,worker,obj,chunk,to,bytes,ok,label"); err != nil {
 		return err
 	}
 	for _, e := range t.Events {
-		if _, err := fmt.Fprintf(w, "%.9f,%s,%d,%s,%d,%d,%d,%s,%d,%s\n",
-			e.Time, e.Kind, e.Task, e.TaskKind, e.Worker, e.Obj, e.Chunk, e.To, e.Bytes, e.Label); err != nil {
+		if _, err := fmt.Fprintf(w, "%.9f,%s,%d,%s,%d,%d,%d,%s,%d,%t,%s\n",
+			e.Time, e.Kind, e.Task, e.TaskKind, e.Worker, e.Obj, e.Chunk, e.To, e.Bytes, e.OK, e.Label); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// jsonRec is the fixed-field JSONL wire form shared by events and
+// dispatch records ("k":"dispatch"). Field order is fixed by the struct
+// and encoding/json renders float64 in shortest round-trip form, so
+// parse → re-serialize is byte-identical. Zero-valued fields are
+// omitted; that is lossless because omission decodes back to the zero
+// value. The tier is kind-gated (only written on migration events)
+// because its zero value has a non-empty name; failure is written
+// inverted ("fail":true) so the common OK=true case stays implicit.
+type jsonRec struct {
+	T     float64 `json:"t"`
+	K     string  `json:"k"`
+	Task  int     `json:"task,omitempty"`
+	TKind string  `json:"tkind,omitempty"`
+	W     int     `json:"w,omitempty"`
+	Obj   int     `json:"obj,omitempty"`
+	Chunk int     `json:"chunk,omitempty"`
+	To    string  `json:"to,omitempty"`
+	Bytes int64   `json:"bytes,omitempty"`
+	Fail  bool    `json:"fail,omitempty"`
+	Label string  `json:"label,omitempty"`
+}
+
+const dispatchKind = "dispatch"
+
+func parseTier(s string) (mem.Tier, error) {
+	switch s {
+	case mem.InDRAM.String():
+		return mem.InDRAM, nil
+	case mem.InNVM.String():
+		return mem.InNVM, nil
+	}
+	return 0, fmt.Errorf("trace: unknown tier %q", s)
+}
+
+// WriteJSONL writes the full recording — events in log order, then
+// dispatch records in decision order — one JSON object per line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	emit := func(r jsonRec) error {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	for _, e := range t.Events {
+		r := jsonRec{
+			T: e.Time, K: e.Kind.String(),
+			Task: int(e.Task), TKind: e.TaskKind, W: e.Worker,
+			Obj: int(e.Obj), Chunk: e.Chunk, Bytes: e.Bytes,
+			Fail: !e.OK, Label: e.Label,
+		}
+		if e.Kind == MigrationStart || e.Kind == MigrationEnd {
+			r.To = e.To.String()
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	for _, d := range t.Dispatches {
+		if err := emit(jsonRec{T: d.Time, K: dispatchKind, Task: int(d.Task), W: d.Worker}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a recording written by WriteJSONL. Blank lines are
+// skipped; any other malformed line is an error.
+func ReadJSONL(rd io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var r jsonRec
+		if err := json.Unmarshal([]byte(raw), &r); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if r.K == dispatchKind {
+			t.AddDispatch(Dispatch{Time: r.T, Task: task.TaskID(r.Task), Worker: r.W})
+			continue
+		}
+		k, err := ParseKind(r.K)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		e := Event{
+			Time: r.T, Kind: k,
+			Task: task.TaskID(r.Task), TaskKind: r.TKind, Worker: r.W,
+			Obj: task.ObjectID(r.Obj), Chunk: r.Chunk, Bytes: r.Bytes,
+			OK: !r.Fail, Label: r.Label,
+		}
+		if r.To != "" {
+			if e.To, err = parseTier(r.To); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", line, err)
+			}
+		}
+		t.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // Timeline renders a coarse per-worker text gantt with the given number
 // of columns; '#' marks task execution, '.' idle, and the bottom row
-// marks migrations with 'm'.
+// marks successful migrations with 'm' and failed ones with 'x'.
 func (t *Trace) Timeline(w io.Writer, workers, cols int) error {
 	dur := t.Duration()
 	if dur <= 0 || cols <= 0 {
@@ -268,7 +455,11 @@ func (t *Trace) Timeline(w io.Writer, workers, cols int) error {
 		}
 	}
 	for _, m := range t.Migrations() {
-		mark(workers, m.Start, m.End, 'm')
+		ch := byte('m')
+		if !m.OK {
+			ch = 'x'
+		}
+		mark(workers, m.Start, m.End, ch)
 	}
 	for i, row := range rows {
 		label := fmt.Sprintf("w%-2d", i)

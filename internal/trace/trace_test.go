@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -11,15 +12,15 @@ import (
 
 func sample() *Trace {
 	t := &Trace{}
-	t.Add(Event{Time: 0, Kind: TaskStart, Task: task.TaskID(0), TaskKind: "a", Worker: 0})
-	t.Add(Event{Time: 0, Kind: TaskStart, Task: 1, TaskKind: "b", Worker: 1})
-	t.Add(Event{Time: 1, Kind: TaskEnd, Task: 0, TaskKind: "a", Worker: 0})
-	t.Add(Event{Time: 1, Kind: TaskStart, Task: 2, TaskKind: "a", Worker: 0})
-	t.Add(Event{Time: 2, Kind: TaskEnd, Task: 1, TaskKind: "b", Worker: 1})
-	t.Add(Event{Time: 4, Kind: TaskEnd, Task: 2, TaskKind: "a", Worker: 0})
-	t.Add(Event{Time: 0.5, Kind: MigrationStart, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20})
-	t.Add(Event{Time: 1.5, Kind: MigrationEnd, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20})
-	t.Add(Event{Time: 2, Kind: Plan, Label: "global"})
+	t.Add(Event{Time: 0, Kind: TaskStart, Task: task.TaskID(0), TaskKind: "a", Worker: 0, OK: true})
+	t.Add(Event{Time: 0, Kind: TaskStart, Task: 1, TaskKind: "b", Worker: 1, OK: true})
+	t.Add(Event{Time: 1, Kind: TaskEnd, Task: 0, TaskKind: "a", Worker: 0, OK: true})
+	t.Add(Event{Time: 1, Kind: TaskStart, Task: 2, TaskKind: "a", Worker: 0, OK: true})
+	t.Add(Event{Time: 2, Kind: TaskEnd, Task: 1, TaskKind: "b", Worker: 1, OK: true})
+	t.Add(Event{Time: 4, Kind: TaskEnd, Task: 2, TaskKind: "a", Worker: 0, OK: true})
+	t.Add(Event{Time: 0.5, Kind: MigrationStart, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20, OK: true})
+	t.Add(Event{Time: 1.5, Kind: MigrationEnd, Obj: 3, Chunk: 0, To: mem.InDRAM, Bytes: 1 << 20, OK: true})
+	t.Add(Event{Time: 2, Kind: Plan, Label: "global", OK: true})
 	return t
 }
 
@@ -47,8 +48,37 @@ func TestMigrations(t *testing.T) {
 		t.Fatalf("migrations = %d", len(migs))
 	}
 	m := migs[0]
-	if m.Start != 0.5 || m.End != 1.5 || m.Obj != 3 || m.Bytes != 1<<20 || m.To != mem.InDRAM {
+	if m.Start != 0.5 || m.End != 1.5 || m.Obj != 3 || m.Bytes != 1<<20 || m.To != mem.InDRAM || !m.OK {
 		t.Fatalf("migration = %+v", m)
+	}
+}
+
+// failedSample extends sample() with one failed copy (started but found
+// no room at completion) and one dropped request (lone failed end).
+func failedSample() *Trace {
+	tr := sample()
+	tr.Add(Event{Time: 2.0, Kind: MigrationStart, Obj: 4, Chunk: 1, To: mem.InDRAM, Bytes: 2 << 20, OK: true})
+	tr.Add(Event{Time: 2.5, Kind: MigrationEnd, Obj: 4, Chunk: 1, To: mem.InDRAM, Bytes: 2 << 20})
+	tr.Add(Event{Time: 3.0, Kind: MigrationEnd, Obj: 5, Chunk: 0, To: mem.InDRAM, Bytes: 4 << 20})
+	return tr
+}
+
+func TestFailedMigrations(t *testing.T) {
+	migs := failedSample().Migrations()
+	if len(migs) != 3 {
+		t.Fatalf("migrations = %d: %+v", len(migs), migs)
+	}
+	failed := migs[1]
+	if failed.OK || failed.Obj != 4 || failed.Start != 2.0 || failed.End != 2.5 {
+		t.Fatalf("failed copy = %+v", failed)
+	}
+	dropped := migs[2]
+	if dropped.OK || dropped.Obj != 5 || dropped.Start != dropped.End || dropped.Start != 3.0 {
+		t.Fatalf("dropped request = %+v", dropped)
+	}
+	s := failedSample().MigrationStats()
+	if s.Count != 1 || s.Failed != 2 || s.BytesMoved != 1<<20 || s.CopySec != 1.0 {
+		t.Fatalf("stats = %+v", s)
 	}
 }
 
@@ -126,10 +156,85 @@ func TestTimeline(t *testing.T) {
 
 func TestUnmatchedEventsIgnored(t *testing.T) {
 	tr := &Trace{}
-	tr.Add(Event{Time: 1, Kind: TaskEnd, Task: 9, TaskKind: "x"})
-	tr.Add(Event{Time: 1, Kind: MigrationEnd, Obj: 9})
+	tr.Add(Event{Time: 1, Kind: TaskEnd, Task: 9, TaskKind: "x", OK: true})
+	tr.Add(Event{Time: 1, Kind: MigrationEnd, Obj: 9, OK: true})
 	if len(tr.ByKind()) != 0 || len(tr.Migrations()) != 0 {
 		t.Fatal("unmatched ends produced records")
+	}
+}
+
+func TestTimelineFailedMarker(t *testing.T) {
+	var b strings.Builder
+	if err := failedSample().Timeline(&b, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(b.String(), "\n")
+	if !strings.Contains(rows[2], "m") || !strings.Contains(rows[2], "x") {
+		t.Fatalf("migration row should carry both 'm' and 'x':\n%s", b.String())
+	}
+}
+
+// TestJSONLRoundTrip pins the canonical serialization: a recording with
+// all five event kinds, a failed migration, and dispatch records must
+// parse back to an identical Trace and re-serialize byte-identically.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := failedSample()
+	tr.AddDispatch(Dispatch{Time: 0, Task: 0, Worker: 0})
+	tr.AddDispatch(Dispatch{Time: 0, Task: 1, Worker: 1})
+	tr.AddDispatch(Dispatch{Time: 1, Task: 2, Worker: 0})
+
+	var first strings.Builder
+	if err := tr.WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSONL(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, tr) {
+		t.Fatalf("parsed trace differs:\n%+v\nwant:\n%+v", parsed, tr)
+	}
+	var second strings.Builder
+	if err := parsed.WriteJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("re-serialization not byte-identical:\n%s\nvs:\n%s", first.String(), second.String())
+	}
+	kinds := map[string]bool{}
+	for _, e := range tr.Events {
+		kinds[e.Kind.String()] = true
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("round-trip sample covers %d kinds, want all 5", len(kinds))
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"k":"no-such-kind"}` + "\n")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"k":"mig-end","to":"TAPE"}` + "\n")); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+	tr, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || tr.Len() != 0 {
+		t.Fatalf("blank lines: %v, %d events", err, tr.Len())
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{TaskStart, TaskEnd, MigrationStart, MigrationEnd, Plan} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("bogus kind parsed")
 	}
 }
 

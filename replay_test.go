@@ -1,0 +1,68 @@
+package tahoe
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestReplayFidelity pins the replay subsystem's central guarantee at
+// the public API: replaying a recording under its own machine and
+// policy reproduces the original run's Result bit for bit — makespan,
+// migration count, bytes moved, energy, everything — across workloads
+// with very different scheduling and migration behaviour.
+func TestReplayFidelity(t *testing.T) {
+	for _, name := range []string{"cholesky", "heat", "cg"} {
+		w, err := BuildWorkload(name, WorkloadParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 96*MB))
+		cfg.Policy = Tahoe
+		orig, rec, err := Record(w.Graph, cfg)
+		if err != nil {
+			t.Fatalf("%s: record: %v", name, err)
+		}
+		again, err := Replay(w.Graph, cfg, rec)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", name, err)
+		}
+		if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
+			t.Errorf("%s: makespan diverged: %v vs %v", name, orig.Time, again.Time)
+		}
+		if orig != again {
+			t.Errorf("%s: replayed result differs:\nrecorded: %+v\nreplayed: %+v", name, orig, again)
+		}
+	}
+}
+
+// TestReplaySaveLoadPublicAPI exercises the re-exported persistence
+// path: a recording saved and re-loaded replays identically to the
+// in-memory one.
+func TestReplaySaveLoadPublicAPI(t *testing.T) {
+	w, err := BuildWorkload("cg", WorkloadParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 96*MB))
+	cfg.Policy = Tahoe
+	orig, rec, err := Record(w.Graph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRecording(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Replay(w.Graph, cfg, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != again {
+		t.Fatalf("loaded replay differs:\nrecorded: %+v\nreplayed: %+v", orig, again)
+	}
+}

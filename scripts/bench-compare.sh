@@ -9,6 +9,10 @@ set -eu
 cd "$(dirname "$0")/.."
 benchtime="${1:-20x}"
 
+# Replay determinism smoke: record → save → load → replay must be
+# bit-identical before timing anything.
+go run ./cmd/tahoe-replay -check -workload cg
+
 out="$(go test -run '^$' \
   -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick|BenchmarkPlannerGlobal$|BenchmarkPlannerLocal$|BenchmarkPlannerReplan$' \
   -benchtime "$benchtime" -count 1 .)"

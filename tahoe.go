@@ -42,6 +42,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/mem"
 	"repro/internal/prof"
+	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -207,6 +208,26 @@ type (
 	// TraceEvent is one timeline entry.
 	TraceEvent = trace.Event
 )
+
+// Trace-driven replay.
+type (
+	// Recording is one recorded run: metadata plus the full event and
+	// dispatch log, replayable under a different machine or policy.
+	Recording = replay.Recording
+	// RecordingMeta identifies what a recording captured.
+	RecordingMeta = replay.Meta
+)
+
+// Record runs a graph with recording enabled and returns the result
+// together with a replayable recording of the schedule.
+var Record = replay.Record
+
+// Replay re-runs a recorded schedule under a (possibly different)
+// configuration, pinning the scheduler's pop order to the recording.
+var Replay = replay.Replay
+
+// LoadRecording parses a recording saved with Recording.Save.
+var LoadRecording = replay.Load
 
 // Multi-node strong scaling (the Edison experiments).
 type (

@@ -75,8 +75,8 @@ func TestBuildWorkloadUnknown(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("%d experiments registered, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("%d experiments registered, want 19", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -169,7 +169,7 @@ func TestExperimentParallelByteIdentical(t *testing.T) {
 		}
 		return sb.String()
 	}
-	for _, id := range []string{"E1", "E3", "E4", "E12", "E15"} {
+	for _, id := range []string{"E1", "E3", "E4", "E12", "E15", "E17"} {
 		serial := render(id, 1)
 		parallel := render(id, 8)
 		if serial != parallel {
