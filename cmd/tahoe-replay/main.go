@@ -59,6 +59,7 @@ func main() {
 		frac     = flag.Float64("bw", 0.5, "NVM bandwidth as a fraction of DRAM")
 		lat      = flag.Float64("lat", 0, "NVM latency multiplier (0 = use -bw machine)")
 		workers  = flag.Int("workers", 8, "simulated workers")
+		cxlMB    = flag.Int64("cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
 		csvPath  = flag.String("csv", "", "with -record: also export the event log as CSV here")
 	)
 	flag.Parse()
@@ -77,10 +78,18 @@ func main() {
 		fail("unknown policy %q", *policy)
 	}
 	machine := func() tahoe.HMS {
+		nvm := tahoe.NVMBandwidth(*frac)
 		if *lat > 0 {
-			return tahoe.NewHMS(tahoe.DRAM(), tahoe.NVMLatency(*lat), *dramMB*tahoe.MB)
+			nvm = tahoe.NVMLatency(*lat)
 		}
-		return tahoe.NewHMS(tahoe.DRAM(), tahoe.NVMBandwidth(*frac), *dramMB*tahoe.MB)
+		if *cxlMB > 0 {
+			return tahoe.NewTieredHMS(
+				tahoe.TierSpec{Device: nvm, Capacity: 1 << 44},
+				tahoe.TierSpec{Device: tahoe.CXL(), Capacity: *cxlMB * tahoe.MB},
+				tahoe.TierSpec{Device: tahoe.DRAM(), Capacity: *dramMB * tahoe.MB},
+			)
+		}
+		return tahoe.NewHMS(tahoe.DRAM(), nvm, *dramMB*tahoe.MB)
 	}
 
 	buildCfg := func(pol tahoe.Policy) core.Config {

@@ -40,6 +40,7 @@ func main() {
 		policy    = flag.String("policy", "tahoe", "dram|nvm|firsttouch|xmem|hwcache|phase|tahoe")
 		nvm       = flag.String("nvm", "bw:0.5", "NVM device: bw:<frac>, lat:<mult>, optane, pcram, sttram, reram")
 		dramMB    = flag.Int64("dram", 128, "DRAM capacity in MB")
+		cxlMB     = flag.Int64("cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
 		workers   = flag.Int("workers", 8, "simulated workers")
 		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
 		scheduler = flag.String("sched", "worksteal", "worksteal|fifo|lifo|rank")
@@ -75,6 +76,14 @@ func main() {
 	}
 
 	h := tahoe.NewHMS(tahoe.DRAM(), dev, *dramMB*tahoe.MB)
+	if *cxlMB > 0 {
+		// Insert a CXL-attached DRAM expander between local DRAM and the NVM.
+		h = tahoe.NewTieredHMS(
+			tahoe.TierSpec{Device: dev, Capacity: 1 << 44},
+			tahoe.TierSpec{Device: tahoe.CXL(), Capacity: *cxlMB * tahoe.MB},
+			tahoe.TierSpec{Device: tahoe.DRAM(), Capacity: *dramMB * tahoe.MB},
+		)
+	}
 	cfg := tahoe.DefaultConfig(h)
 	cfg.Policy = p
 	cfg.Workers = *workers
@@ -106,7 +115,12 @@ func main() {
 	}
 
 	fmt.Printf("workload    %s (%d tasks, %d objects)\n", res.Workload, res.Tasks, len(built.Graph.Objects))
-	fmt.Printf("machine     DRAM %d MB + %s, %d workers\n", *dramMB, dev.Name, *workers)
+	if *cxlMB > 0 {
+		fmt.Printf("machine     DRAM %d MB + CXL %d MB + %s, %d workers\n",
+			*dramMB, *cxlMB, dev.Name, *workers)
+	} else {
+		fmt.Printf("machine     DRAM %d MB + %s, %d workers\n", *dramMB, dev.Name, *workers)
+	}
 	fmt.Printf("policy      %s (scheduler %s)\n", res.Policy, sc)
 	fmt.Printf("time        %.6f s (simulated)\n", res.Time)
 	fmt.Printf("plan        %s, %d replans\n", orNone(res.PlanKind), res.Replans)

@@ -1,0 +1,50 @@
+package tahoe
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/report"
+)
+
+func init() {
+	registerExperiment(Experiment{"E18", "Three-tier DRAM+CXL+NVM: middle-tier size sweep", expE18})
+}
+
+// expE18 evaluates the N-tier generalization on the DRAM + CXL-attached
+// DRAM + Optane machine: for each workload and each local-DRAM size, run
+// Tahoe on the plain two-tier machine and with a CXL middle tier of
+// growing capacity, all normalized to the unconstrained DRAM-only upper
+// bound. The column pairs expose how the middle tier shifts the
+// DRAM-size crossover: a machine whose local DRAM is too small to hold
+// the hot set recovers most of the loss once the overflow lands on CXL
+// instead of Optane.
+func expE18(opt ExpOptions) (*Table, error) {
+	t := report.New("E18", "DRAM+CXL+NVM vs middle-tier size (normalized to DRAM-only)",
+		"Workload", "32MB", "+CXL128", "64MB", "+CXL128", "128MB", "+CXL128", "DRAM-only (s)")
+	dramSizes := []int64{32 * mem.MB, 64 * mem.MB, 128 * mem.MB}
+	const cxlSize = 128 * mem.MB
+	apps := expApps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
+		g := buildApp(s, opt)
+		base := mustRun(g, expConfig(hmsOptane(), core.DRAMOnly)).Time
+		row := []string{s.Name}
+		for _, dram := range dramSizes {
+			two := mem.NewHMS(mem.DRAM(), mem.OptanePM(), dram)
+			three := mem.DRAMCXLNVM(dram, cxlSize)
+			row = append(row,
+				report.Norm(mustRun(g, expConfig(two, core.Tahoe)).Time, base),
+				report.Norm(mustRun(g, expConfig(three, core.Tahoe)).Time, base))
+		}
+		row = append(row, report.Sec(base))
+		return oneRow(row...), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
+	t.Note("expected shape: at 128 MB local DRAM the hot set fits and the CXL column changes little; " +
+		"as DRAM shrinks the two-tier column degrades toward NVM-only while +CXL stays close to 1 — " +
+		"the middle tier moves the DRAM-size crossover left")
+	return t, nil
+}

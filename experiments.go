@@ -203,6 +203,15 @@ var (
 )
 
 func factorsFor(h mem.HMS) calib.Factors {
+	// The constant factors calibrate the runtime's model against the
+	// simulated truth for a device pair; they are a property of the
+	// fastest/slowest envelope, not of any middle tier. N-tier machines
+	// therefore reuse the factors of their two-device envelope — which
+	// also keeps the cache key's device-pair form collision-free between
+	// a 3-tier machine and the 2-tier machine it envelopes.
+	if h.NumTiers() > 2 {
+		h = mem.NewHMS(h.DRAM, h.NVM, h.DRAMCapacity)
+	}
 	key := fmt.Sprintf("%s|%s|%g|%g", h.DRAM.Name, h.NVM.Name, h.NVM.ReadBW, h.NVM.ReadLatNS)
 	calibMu.Lock()
 	e, ok := calibCache[key]

@@ -4,10 +4,9 @@ import (
 	"math/bits"
 	"sort"
 
+	"repro/internal/mem"
 	"repro/internal/placement"
 	"repro/internal/task"
-
-	"repro/internal/mem"
 )
 
 // The planner is the runtime's decision core and, since the simulator
@@ -127,6 +126,10 @@ type planResult struct {
 	perTask []planSet
 	// perLevel[level] is the target set per topological level (PhaseBased).
 	perLevel []planSet
+	// tierTo, on machines with more than two tiers (plan kind "tier"), is
+	// the assigned tier per global chunk index; -1 means no opinion. The
+	// fastest tier's assignees are mirrored into global.
+	tierTo []mem.Tier
 	// predicted is the model's estimate of the remaining execution time
 	// under the plan; the runtime picks the smaller of global vs local.
 	predicted float64
@@ -166,7 +169,7 @@ type plannerState struct {
 
 	chunkSize []int64 // per global chunk index (immutable)
 
-	uses     [][]objUse      // per object: future-relevant access entries
+	uses     [][]objUse        // per object: future-relevant access entries
 	kindObjs [][]task.ObjectID // per kind: distinct objects it touches
 
 	// futureUses[obj] counts access entries among not-yet-started tasks;
@@ -223,23 +226,23 @@ func newPlannerState(r *runner) *plannerState {
 	nk := len(r.kindList)
 	total := st.TotalChunks()
 	p := &plannerState{
-		words:     planWords(total),
-		nobj:      nobj,
-		nk:        nk,
-		kindNames: r.kindList,
-		kindIx:    make(map[string]int32, nk),
-		kindOf:    make([]int32, len(g.Tasks)),
-		chunkSize: make([]int64, total),
-		uses:      make([][]objUse, nobj),
-		kindObjs:  make([][]task.ObjectID, nk),
+		words:      planWords(total),
+		nobj:       nobj,
+		nk:         nk,
+		kindNames:  r.kindList,
+		kindIx:     make(map[string]int32, nk),
+		kindOf:     make([]int32, len(g.Tasks)),
+		chunkSize:  make([]int64, total),
+		uses:       make([][]objUse, nobj),
+		kindObjs:   make([][]task.ObjectID, nk),
 		futureUses: make([]int32, nobj),
-		pairB:     make([]float64, nk*nobj),
-		pairOK:    make([]bool, nk*nobj),
-		totals:    make([]float64, nobj),
-		objDirty:  make([]bool, nobj),
-		solver:    placement.NewSolver(),
-		objMark:   make([]bool, nobj),
-		kindMark:  make([]bool, nk),
+		pairB:      make([]float64, nk*nobj),
+		pairOK:     make([]bool, nk*nobj),
+		totals:     make([]float64, nobj),
+		objDirty:   make([]bool, nobj),
+		solver:     placement.NewSolver(),
+		objMark:    make([]bool, nobj),
+		kindMark:   make([]bool, nk),
 	}
 	for i, k := range p.kindNames {
 		p.kindIx[k] = int32(i)
@@ -457,7 +460,7 @@ func (r *runner) computeGlobalPlan(future []*task.Task) planResult {
 		for i, ref := range refs {
 			size := p.chunkSize[base+i]
 			cost := 0.0
-			if r.st.Tier(ref) != mem.InDRAM {
+			if r.st.Tier(ref) != r.fastTier {
 				// The promotion is enqueued at plan time; the first future
 				// user bounds the hiding window.
 				firstUse := task.TaskID(len(r.g.Tasks))
@@ -485,7 +488,7 @@ func (r *runner) computeGlobalPlan(future []*task.Task) planResult {
 	// can hide.
 	var copySec float64
 	for _, i := range chosen {
-		if r.st.Tier(items[i].Ref) != mem.InDRAM {
+		if r.st.Tier(items[i].Ref) != r.fastTier {
 			copySec += float64(items[i].Size) / r.cfg.HMS.CopyBW
 		}
 	}
@@ -552,7 +555,7 @@ func (r *runner) computeLocalPlan(future []*task.Task) planResult {
 		base := r.st.ChunkBase(o.ID)
 		in := false
 		for i, ref := range r.st.Refs(o.ID) {
-			if r.st.Tier(ref) == mem.InDRAM {
+			if r.st.Tier(ref) == r.fastTier {
 				resident.set(base + i)
 				residentBytes += p.chunkSize[base+i]
 				in = true
@@ -704,7 +707,7 @@ func (r *runner) computeLevelPlan(future []*task.Task) planResult {
 	for _, o := range r.g.Objects {
 		base := r.st.ChunkBase(o.ID)
 		for i, ref := range r.st.Refs(o.ID) {
-			if r.st.Tier(ref) == mem.InDRAM {
+			if r.st.Tier(ref) == r.fastTier {
 				resident.set(base + i)
 			}
 		}

@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/heap"
-	"repro/internal/mem"
 	"repro/internal/model"
 	"repro/internal/placement"
 	"repro/internal/task"
@@ -56,7 +55,7 @@ func (r *runner) applyInitialPlacement() error {
 	case DRAMOnly:
 		for _, o := range r.g.Objects {
 			for _, ref := range r.st.Refs(o.ID) {
-				if err := r.st.Move(ref, mem.InDRAM); err != nil {
+				if err := r.st.Move(ref, r.st.Fastest()); err != nil {
 					return err
 				}
 			}
@@ -103,10 +102,23 @@ func (r *runner) applyInitialPlacement() error {
 }
 
 // placeIfFits promotes an object's chunks while they fit, free of charge.
+// On machines with more than two tiers a chunk that misses the fastest
+// tier falls to the next one down instead of staying on the slow default
+// tier; two-tier machines keep the exact legacy fastest-or-nothing rule.
 func (r *runner) placeIfFits(obj task.ObjectID) {
+	nt := r.st.NumTiers()
 	for _, ref := range r.st.Refs(obj) {
 		if r.st.CanPromote(ref) {
-			_ = r.st.Move(ref, mem.InDRAM)
+			_ = r.st.Move(ref, r.st.Fastest())
+			continue
+		}
+		if nt > 2 {
+			for t := r.st.Fastest() - 1; t >= 1; t-- {
+				if r.st.CanMoveTo(ref, t) {
+					_ = r.st.Move(ref, t)
+					break
+				}
+			}
 		}
 	}
 }
@@ -142,7 +154,7 @@ func (r *runner) placeXMem() error {
 	for _, i := range chosen {
 		obj := items[i].Ref.Obj
 		for _, ref := range r.st.Refs(obj) {
-			if err := r.st.Move(ref, mem.InDRAM); err != nil {
+			if err := r.st.Move(ref, r.st.Fastest()); err != nil {
 				return err
 			}
 		}

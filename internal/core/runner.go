@@ -137,13 +137,20 @@ type runner struct {
 	promoBlock    map[heap.ChunkRef]bool
 	totalPairs    int
 	levelEnforced []bool
-	pendingDRAM   int64
-	hwFrac        float64
-	overheadSec   float64
-	overheadProf  float64
-	overheadPlan  float64
-	overheadSync  float64
-	highWater     int64
+	// pendingTier[t] is the projected byte delta of tier t from queued and
+	// in-flight movements: promotions targeting t add their size, moves
+	// leaving t subtract it. TierAvail(t)-pendingTier[t] is the headroom a
+	// new movement may count on. (The two-tier machine only ever consults
+	// the fastest tier's entry — the old pendingDRAM.)
+	pendingTier []int64
+	// fastTier caches the fastest tier's id (InDRAM on two-tier machines).
+	fastTier     mem.Tier
+	hwFrac       float64
+	overheadSec  float64
+	overheadProf float64
+	overheadPlan float64
+	overheadSync float64
+	highWater    int64
 
 	blocked     []blockedTask
 	completed   int
@@ -231,8 +238,17 @@ func (r *runner) energy(makespan float64) (dynamicJ, staticJ float64) {
 	if r.cfg.Policy == DRAMOnly {
 		staticJ = gb(installed) * dram.StaticMWPerGB * 1e-3 * makespan
 	} else {
-		staticJ = (gb(r.cfg.HMS.DRAMCapacity)*dram.StaticMWPerGB +
-			gb(installed)*nvm.StaticMWPerGB) * 1e-3 * makespan
+		// Installed static power: every tier above the bottom at its
+		// configured capacity (fastest first), the bottom tier sized to the
+		// footprint. On the two-tier machine this is exactly
+		// DRAMCapacity·dram + installed·nvm.
+		var acc float64
+		h := r.cfg.HMS
+		for t := h.Fastest(); t >= 1; t-- {
+			acc += gb(h.Capacity(t)) * h.Device(t).StaticMWPerGB
+		}
+		acc += gb(installed) * h.Device(0).StaticMWPerGB
+		staticJ = acc * 1e-3 * makespan
 	}
 	return dynamicJ, staticJ
 }
@@ -256,7 +272,16 @@ func (r *runner) setup() error {
 			total += o.Size
 		}
 		hms.DRAMCapacity = total + 1
+		if hms.Tiers != nil {
+			// Mirror the override into the tier list (the heap allocates
+			// per-tier free lists from it).
+			tiers := append([]mem.TierSpec(nil), hms.Tiers...)
+			tiers[len(tiers)-1].Capacity = total + 1
+			hms.Tiers = tiers
+		}
 	}
+	r.fastTier = hms.Fastest()
+	r.pendingTier = make([]int64, hms.NumTiers())
 
 	st, err := heap.NewState(hms, r.g.Objects, r.chunkPlan())
 	if err != nil {
@@ -372,6 +397,30 @@ func (r *runner) dramFrac(obj task.ObjectID) float64 {
 		return r.hwFrac
 	default:
 		return r.st.DRAMFraction(obj)
+	}
+}
+
+// tierFrac is the per-tier placement view the timing model sees on
+// machines with more than two tiers.
+func (r *runner) tierFrac(obj task.ObjectID, t mem.Tier) float64 {
+	switch r.cfg.Policy {
+	case DRAMOnly:
+		if t == r.fastTier {
+			return 1
+		}
+		return 0
+	case HWCache:
+		// Memory Mode caches the bottom tier in the top one; middle tiers
+		// are unused.
+		if t == r.fastTier {
+			return r.hwFrac
+		}
+		if t == 0 {
+			return 1 - r.hwFrac
+		}
+		return 0
+	default:
+		return r.st.TierFraction(obj, t)
 	}
 }
 
@@ -529,10 +578,12 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 	var d model.Demand
 	if r.cfg.Policy == HWCache {
 		d = model.HWCacheDemand(t, r.cfg.HMS, r.hwFrac)
+	} else if r.st.NumTiers() > 2 {
+		d = model.TaskDemandTiered(t, r.machineHMS(), r.tierFrac)
 	} else {
 		d = model.TaskDemand(t, r.machineHMS(), r.dramFrac)
 	}
-	for tier := 0; tier < 2; tier++ {
+	for tier := 0; tier < r.st.NumTiers(); tier++ {
 		dev := r.cfg.HMS.Device(mem.Tier(tier))
 		r.dynamicJ += (d.BytesRead[tier]*dev.ReadPJPerByte +
 			d.BytesWritten[tier]*dev.WritePJPerByte) * 1e-12
@@ -573,14 +624,14 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 		r.overheadSync += over
 	}
 
-	// Both tiers hang off one memory controller (true of Optane-class
+	// All tiers hang off one memory controller (true of Optane-class
 	// hardware and of the throttled-DRAM emulators), so the task's whole
 	// memory traffic is one demand on the shared memory-system resource:
-	// NVM bytes simply cost more service time per byte, and the combined
-	// latency floors cap the task's service rate. Placement can therefore
-	// approach — but never beat — the DRAM-only bound.
-	memSec := d.DevSec[mem.InDRAM] + d.DevSec[mem.InNVM]
-	latSec := d.LatSec[mem.InDRAM] + d.LatSec[mem.InNVM]
+	// slow-tier bytes simply cost more service time per byte, and the
+	// combined latency floors cap the task's service rate. Placement can
+	// therefore approach — but never beat — the DRAM-only bound.
+	memSec := d.DevSecTotal()
+	latSec := d.LatSecTotal()
 	maxRate := 0.0
 	if latSec > 0 && memSec > 0 {
 		maxRate = memSec / latSec
@@ -796,8 +847,8 @@ func (r *runner) checkDrift(t *task.Task, dur float64, d model.Demand, load int)
 	if load < 1 {
 		load = 1
 	}
-	memSec := d.DevSec[mem.InDRAM] + d.DevSec[mem.InNVM]
-	latSec := d.LatSec[mem.InDRAM] + d.LatSec[mem.InNVM]
+	memSec := d.DevSecTotal()
+	latSec := d.LatSecTotal()
 	expected := d.FixedSec + memSec*float64(load)
 	if latSec > expected-d.FixedSec {
 		expected = d.FixedSec + latSec
@@ -837,6 +888,19 @@ func (r *runner) decidePlacement(now float64) {
 			planAudit(r, future, r.plan)
 		}
 		r.finishPlan(now, r.plan.solverSec)
+		return
+	}
+
+	// Machines with more than two tiers use the N-tier planner: one
+	// multiple-choice knapsack over (chunk, tier) instead of the two-tier
+	// global/local pair. Two-tier machines never enter this branch.
+	if r.st.NumTiers() > 2 && (r.cfg.Tech.GlobalSearch || r.cfg.Tech.LocalSearch) {
+		r.plan = r.computeTierPlan(future)
+		if planAudit != nil {
+			planAudit(r, future, r.plan)
+		}
+		r.finishPlan(now, r.plan.solverSec)
+		r.enforceTierPlan()
 		return
 	}
 
@@ -927,7 +991,7 @@ func (r *runner) finishPlan(now float64, cost float64) {
 func (r *runner) enforceGlobal() {
 	r.plan.global.forEach(func(ix int) {
 		ref := r.st.RefAt(ix)
-		if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+		if r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ref] {
 			r.tryPromote(ref, r.plan.global, -1)
 		}
 	})
@@ -948,7 +1012,7 @@ func (r *runner) enforceLevel(lv int) {
 		// Promote the level's targets, demoting only as space requires.
 		target.forEach(func(ix int) {
 			ref := r.st.RefAt(ix)
-			if r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+			if r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ref] {
 				r.tryPromote(ref, target, -1)
 			}
 		})
@@ -1001,7 +1065,7 @@ func (r *runner) proactiveScan() {
 		for _, a := range t.Accesses {
 			base := r.st.ChunkBase(a.Obj)
 			for i, ref := range r.st.Refs(a.Obj) {
-				if !target.has(base+i) || r.st.Tier(ref) == mem.InDRAM || r.mig.Busy(ref) || r.promoBlock[ref] {
+				if !target.has(base+i) || r.st.Tier(ref) == r.fastTier || r.mig.Busy(ref) || r.promoBlock[ref] {
 					continue
 				}
 				if !r.safeFor(a.Obj, id) {
@@ -1024,25 +1088,36 @@ func (r *runner) proactiveScan() {
 	}
 }
 
-// tryPromote attempts one chunk promotion: make room by demoting
-// farthest-next-use residents, and enqueue the copy only when the
-// projected DRAM headroom actually covers it — a promotion that cannot
-// fit (its would-be victims are in use) is silently skipped and retried
-// on a later scan, rather than enqueued to fail and stall dispatch.
+// tryPromote attempts one chunk promotion to the fastest tier: make room
+// by demoting farthest-next-use residents, and enqueue the copy only
+// when the projected headroom actually covers it — a promotion that
+// cannot fit (its would-be victims are in use) is silently skipped and
+// retried on a later scan, rather than enqueued to fail and stall
+// dispatch.
 func (r *runner) tryPromote(ref heap.ChunkRef, keep planSet, forTask task.TaskID) bool {
+	return r.tryPromoteTo(ref, r.fastTier, keep, forTask)
+}
+
+// tryPromoteTo is tryPromote with an explicit target tier (used by the
+// tier plan on machines with more than two tiers).
+func (r *runner) tryPromoteTo(ref heap.ChunkRef, to mem.Tier, keep planSet, forTask task.TaskID) bool {
 	size := r.st.ChunkSize(ref)
-	r.makeRoom(size, keep)
-	if r.st.DRAMAvail()-r.pendingDRAM < size {
+	r.makeRoomOn(to, size, keep)
+	if r.st.TierAvail(to)-r.pendingTier[to] < size {
 		return false
 	}
-	r.enqueueMove(ref, mem.InDRAM, forTask)
+	r.enqueueMove(ref, to, forTask)
 	return true
 }
 
-// makeRoom enqueues demotions of the farthest-next-use DRAM residents not
-// wanted by the current target set until size bytes fit.
-func (r *runner) makeRoom(size int64, keep planSet) {
-	free := r.st.DRAMAvail() - r.pendingDRAM
+// makeRoomOn enqueues demotions of the farthest-next-use residents of
+// tier t not wanted by the current target set until size bytes fit.
+// Victims demote stepwise: one tier down the hierarchy, not straight to
+// the bottom — an evicted chunk on a three-tier machine lands in the
+// middle tier first, keeping it cheaper to re-promote. When the tier
+// below is itself bounded, room is made there recursively.
+func (r *runner) makeRoomOn(t mem.Tier, size int64, keep planSet) {
+	free := r.st.TierAvail(t) - r.pendingTier[t]
 	if free >= size {
 		return
 	}
@@ -1057,7 +1132,7 @@ func (r *runner) makeRoom(size int64, keep planSet) {
 		}
 		base := r.st.ChunkBase(o.ID)
 		for i, ref := range r.st.Refs(o.ID) {
-			if r.st.Tier(ref) != mem.InDRAM || keep.has(base+i) {
+			if r.st.Tier(ref) != t || keep.has(base+i) {
 				continue
 			}
 			// A victim's next use is its first unstarted user, so the scan
@@ -1081,12 +1156,23 @@ func (r *runner) makeRoom(size int64, keep planSet) {
 		return victims[i].ref.Obj < victims[j].ref.Obj ||
 			(victims[i].ref.Obj == victims[j].ref.Obj && victims[i].ref.Index < victims[j].ref.Index)
 	})
+	below := t - 1
 	for _, v := range victims {
 		if free >= size {
 			return
 		}
-		free += r.st.ChunkSize(v.ref)
-		r.enqueueMove(v.ref, mem.InNVM, -1)
+		vsize := r.st.ChunkSize(v.ref)
+		if below > 0 {
+			// The tier below is bounded too: cascade the eviction down.
+			if r.st.TierAvail(below)-r.pendingTier[below] < vsize {
+				r.makeRoomOn(below, vsize, keep)
+			}
+			if r.st.TierAvail(below)-r.pendingTier[below] < vsize {
+				continue // no room anywhere below; try the next victim
+			}
+		}
+		free += vsize
+		r.enqueueMove(v.ref, below, -1)
 	}
 }
 
@@ -1100,7 +1186,7 @@ func (r *runner) requestFor(t *task.Task) {
 	for _, a := range t.Accesses {
 		base := r.st.ChunkBase(a.Obj)
 		for i, ref := range r.st.Refs(a.Obj) {
-			if target.has(base+i) && r.st.Tier(ref) != mem.InDRAM && !r.mig.Busy(ref) &&
+			if target.has(base+i) && r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) &&
 				!r.promoBlock[ref] && r.safeFor(a.Obj, t.ID) {
 				r.tryPromote(ref, target, t.ID)
 			}
@@ -1111,7 +1197,7 @@ func (r *runner) requestFor(t *task.Task) {
 // planTargetFor returns the plan's DRAM target set when task id runs.
 func (r *runner) planTargetFor(id task.TaskID) planSet {
 	switch r.plan.kind {
-	case "global":
+	case "global", "tier":
 		return r.plan.global
 	case "local":
 		if r.plan.perTask == nil {
@@ -1127,26 +1213,21 @@ func (r *runner) planTargetFor(id task.TaskID) planSet {
 }
 
 // enqueueMove hands one movement to the helper thread, tracking the
-// projected DRAM headroom and the queue-synchronization overhead.
+// projected per-tier headroom and the queue-synchronization overhead.
 func (r *runner) enqueueMove(ref heap.ChunkRef, to mem.Tier, forTask task.TaskID) {
 	size := r.st.ChunkSize(ref)
-	if to == mem.InDRAM {
-		r.pendingDRAM += size
-	} else {
-		r.pendingDRAM -= size
-	}
+	from := r.st.Tier(ref)
+	r.pendingTier[to] += size
+	r.pendingTier[from] -= size
 	r.overheadSec += r.cfg.Overheads.SyncPerRequestSec
 	r.overheadSync += r.cfg.Overheads.SyncPerRequestSec
 	r.mig.Enqueue(migrate.Request{
 		Ref: ref, To: to, ForTask: forTask,
 		Done: func(now float64, ok bool) {
-			if to == mem.InDRAM {
-				r.pendingDRAM -= size
-				if !ok {
-					r.promoBlock[ref] = true
-				}
-			} else {
-				r.pendingDRAM += size
+			r.pendingTier[to] -= size
+			r.pendingTier[from] += size
+			if !ok && to != mem.Tier(0) {
+				r.promoBlock[ref] = true
 			}
 			r.scheduleDispatch()
 		},

@@ -1,9 +1,19 @@
 // Package heap tracks where application data objects live on the
-// heterogeneous memory system: which tier (DRAM or NVM) holds each object
-// — or each chunk of a partitioned object — and at which address. It
+// heterogeneous memory system: which tier holds each object — or each
+// chunk of a partitioned object — and at which address, for any number
+// of tiers ordered slowest to fastest (classically NVM and DRAM). It
 // provides the user-level DRAM space service the runtime uses to ration
-// the scarce DRAM tier, mirroring the paper's per-node service that
+// the scarce fast tier, mirroring the paper's per-node service that
 // coordinates DRAM allowance across processes without OS changes.
+//
+// Invariants: an object's partitioning is fixed at NewState, so every
+// chunk has a stable dense global index in [0, TotalChunks) (objects in
+// ID order, chunks in order within an object) that planners key bitsets
+// and size tables off; per-tier resident-byte accumulators always equal
+// the sum of chunk sizes on that tier and the tier allocator's used
+// count (CheckInvariants cross-checks all three); and residency never
+// fails to fragmentation — allocation is paged, so only genuine capacity
+// shortfall can refuse a Move.
 package heap
 
 import (

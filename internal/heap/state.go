@@ -37,14 +37,15 @@ type objState struct {
 	chunks []chunkState
 }
 
-// State is the placement map of every object (and chunk) plus the two
-// tiers' allocators. All data starts in NVM, the paper's default initial
-// placement; Move promotes or demotes one chunk at a time.
+// State is the placement map of every object (and chunk) plus one
+// allocator per tier. All data starts on tier 0 (NVM), the paper's
+// default initial placement; Move promotes or demotes one chunk at a
+// time.
 type State struct {
-	hms  mem.HMS
-	dram *FreeList
-	nvm  *FreeList
-	objs []objState
+	hms      mem.HMS
+	tiers    []*FreeList // indexed by mem.Tier, slowest to fastest
+	resident []int64     // per-tier resident application bytes
+	objs     []objState
 
 	// Chunk index: the partitioning is fixed at NewState, so every chunk
 	// gets a dense global index (objects in ID order, chunks in order
@@ -57,18 +58,22 @@ type State struct {
 	total    int
 }
 
-// NewState lays out the graph's objects on the HMS, all in NVM.
+// NewState lays out the graph's objects on the HMS, all on tier 0.
 // chunksFor, if non-nil, gives the number of chunks to split an object
 // into (values < 2, or entries for non-chunkable objects, mean "whole").
 func NewState(hms mem.HMS, objects []*task.Object, chunksFor map[task.ObjectID]int) (*State, error) {
 	if err := hms.Validate(); err != nil {
 		return nil, err
 	}
+	nt := hms.NumTiers()
 	s := &State{
-		hms:  hms,
-		dram: NewFreeList(hms.DRAMCapacity),
-		nvm:  NewFreeList(hms.NVMCapacity),
-		objs: make([]objState, len(objects)),
+		hms:      hms,
+		tiers:    make([]*FreeList, nt),
+		resident: make([]int64, nt),
+		objs:     make([]objState, len(objects)),
+	}
+	for t := range s.tiers {
+		s.tiers[t] = NewFreeList(hms.Capacity(mem.Tier(t)))
 	}
 	for _, o := range objects {
 		n := 1
@@ -88,11 +93,12 @@ func NewState(hms mem.HMS, objects []*task.Object, chunksFor map[task.ObjectID]i
 			if sz == 0 {
 				sz = 1 // degenerate: more chunks than bytes
 			}
-			allocs, err := allocFragmented(s.nvm, sz)
+			allocs, err := allocFragmented(s.tiers[mem.InNVM], sz)
 			if err != nil {
 				return nil, fmt.Errorf("heap: placing %q in NVM: %w", o.Name, err)
 			}
 			chunks[i] = chunkState{size: sz, tier: mem.InNVM, allocs: allocs}
+			s.resident[mem.InNVM] += sz
 		}
 		s.objs[o.ID] = objState{size: o.Size, chunks: chunks}
 	}
@@ -144,40 +150,64 @@ func (s *State) ChunkSize(ref ChunkRef) int64 { return s.objs[ref.Obj].chunks[re
 // Tier returns where a chunk currently lives.
 func (s *State) Tier(ref ChunkRef) mem.Tier { return s.objs[ref.Obj].chunks[ref.Index].tier }
 
-// DRAMFraction returns the fraction of the object's bytes resident in
-// DRAM. The timing model splits an object's traffic between the tiers in
-// this proportion, which assumes accesses are uniform over the object —
-// the same assumption the paper's chunk profiling refines.
+// NumTiers returns how many tiers the backing HMS has.
+func (s *State) NumTiers() int { return len(s.tiers) }
+
+// Fastest returns the fastest tier's id (InDRAM on two-tier machines).
+func (s *State) Fastest() mem.Tier { return mem.Tier(len(s.tiers) - 1) }
+
+// DRAMFraction returns the fraction of the object's bytes resident on
+// the fastest tier. The timing model splits an object's traffic between
+// the tiers in this proportion, which assumes accesses are uniform over
+// the object — the same assumption the paper's chunk profiling refines.
 func (s *State) DRAMFraction(obj task.ObjectID) float64 {
-	o := &s.objs[obj]
-	var inDRAM int64
-	for _, c := range o.chunks {
-		if c.tier == mem.InDRAM {
-			inDRAM += c.size
-		}
-	}
-	return float64(inDRAM) / float64(o.size)
+	return s.TierFraction(obj, s.Fastest())
 }
 
-// InDRAM reports whether the whole object is DRAM-resident.
+// TierFraction returns the fraction of the object's bytes resident on
+// tier t.
+func (s *State) TierFraction(obj task.ObjectID, t mem.Tier) float64 {
+	o := &s.objs[obj]
+	var on int64
+	for _, c := range o.chunks {
+		if c.tier == t {
+			on += c.size
+		}
+	}
+	return float64(on) / float64(o.size)
+}
+
+// InDRAM reports whether the whole object is resident on the fastest
+// tier.
 func (s *State) InDRAM(obj task.ObjectID) bool {
+	f := s.Fastest()
 	for _, c := range s.objs[obj].chunks {
-		if c.tier != mem.InDRAM {
+		if c.tier != f {
 			return false
 		}
 	}
 	return true
 }
 
-// DRAMUsed and DRAMAvail expose the DRAM service's accounting.
-func (s *State) DRAMUsed() int64  { return s.dram.Used() }
-func (s *State) DRAMAvail() int64 { return s.dram.Avail() }
+// DRAMUsed and DRAMAvail expose the fastest tier's accounting.
+func (s *State) DRAMUsed() int64  { return s.tiers[s.Fastest()].Used() }
+func (s *State) DRAMAvail() int64 { return s.tiers[s.Fastest()].Avail() }
 
-// CanPromote reports whether the chunk would fit in DRAM right now.
-// Allocation is fragmented (paged), so available bytes suffice.
+// TierUsed and TierAvail expose any tier's allocator accounting.
+func (s *State) TierUsed(t mem.Tier) int64  { return s.tiers[t].Used() }
+func (s *State) TierAvail(t mem.Tier) int64 { return s.tiers[t].Avail() }
+
+// CanPromote reports whether the chunk would fit on the fastest tier
+// right now. Allocation is fragmented (paged), so available bytes
+// suffice.
 func (s *State) CanPromote(ref ChunkRef) bool {
+	return s.CanMoveTo(ref, s.Fastest())
+}
+
+// CanMoveTo reports whether the chunk would fit on tier `to` right now.
+func (s *State) CanMoveTo(ref ChunkRef, to mem.Tier) bool {
 	c := &s.objs[ref.Obj].chunks[ref.Index]
-	return c.tier == mem.InDRAM || s.dram.Avail() >= c.size
+	return c.tier == to || s.tiers[to].Avail() >= c.size
 }
 
 // allocPiece is the preferred physical piece size (a 2 MB superpage):
@@ -220,15 +250,16 @@ func allocFragmented(f *FreeList, size int64) ([]alloc, error) {
 	return out, nil
 }
 
-// Move relocates a chunk to the given tier, updating both allocators.
-// Moving a chunk to its current tier is a no-op. The caller (the
-// migration engine) is responsible for charging the copy's time.
+// Move relocates a chunk to the given tier, updating both allocators
+// and the per-tier resident accumulators. Moving a chunk to its current
+// tier is a no-op. The caller (the migration engine) is responsible for
+// charging the copy's time.
 func (s *State) Move(ref ChunkRef, to mem.Tier) error {
 	c := &s.objs[ref.Obj].chunks[ref.Index]
 	if c.tier == to {
 		return nil
 	}
-	src, dst := s.allocator(c.tier), s.allocator(to)
+	src, dst := s.tiers[c.tier], s.tiers[to]
 	allocs, err := allocFragmented(dst, c.size)
 	if err != nil {
 		return fmt.Errorf("heap: move %v to %v: %w", ref, to, err)
@@ -238,19 +269,19 @@ func (s *State) Move(ref ChunkRef, to mem.Tier) error {
 			return fmt.Errorf("heap: move %v released bad source range: %w", ref, err)
 		}
 	}
+	s.resident[c.tier] -= c.size
+	s.resident[to] += c.size
 	c.tier, c.allocs = to, allocs
 	return nil
 }
 
-func (s *State) allocator(t mem.Tier) *FreeList {
-	if t == mem.InDRAM {
-		return s.dram
-	}
-	return s.nvm
-}
+// ResidentBytes returns the bytes of application objects on a tier,
+// from the O(1) per-tier accumulator.
+func (s *State) ResidentBytes(t mem.Tier) int64 { return s.resident[t] }
 
-// ResidentBytes returns the bytes of application objects on a tier.
-func (s *State) ResidentBytes(t mem.Tier) int64 {
+// residentScan recomputes a tier's resident bytes from the chunk map,
+// for invariant checking against the accumulator.
+func (s *State) residentScan(t mem.Tier) int64 {
 	var total int64
 	for i := range s.objs {
 		for _, c := range s.objs[i].chunks {
@@ -262,19 +293,21 @@ func (s *State) ResidentBytes(t mem.Tier) int64 {
 	return total
 }
 
-// CheckInvariants cross-checks chunk accounting against both allocators.
+// CheckInvariants cross-checks chunk accounting against every tier's
+// allocator and the resident-byte accumulators.
 func (s *State) CheckInvariants() error {
-	if err := s.dram.CheckInvariants(); err != nil {
-		return err
-	}
-	if err := s.nvm.CheckInvariants(); err != nil {
-		return err
-	}
-	if got, want := s.ResidentBytes(mem.InDRAM), s.dram.Used(); got != want {
-		return fmt.Errorf("heap: DRAM resident %d != allocator used %d", got, want)
-	}
-	if got, want := s.ResidentBytes(mem.InNVM), s.nvm.Used(); got != want {
-		return fmt.Errorf("heap: NVM resident %d != allocator used %d", got, want)
+	for t, fl := range s.tiers {
+		if err := fl.CheckInvariants(); err != nil {
+			return err
+		}
+		tier := mem.Tier(t)
+		scan := s.residentScan(tier)
+		if scan != fl.Used() {
+			return fmt.Errorf("heap: %v resident %d != allocator used %d", tier, scan, fl.Used())
+		}
+		if scan != s.resident[t] {
+			return fmt.Errorf("heap: %v resident %d != accumulator %d", tier, scan, s.resident[t])
+		}
 	}
 	for i := range s.objs {
 		var sum int64

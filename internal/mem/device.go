@@ -1,9 +1,11 @@
 // Package mem models the memory devices of a heterogeneous memory system
-// (HMS): a small, fast DRAM paired with a large, slow non-volatile memory
-// (NVM). Device characteristics — read/write latency and read/write
-// bandwidth, which NVM technologies exhibit asymmetrically — follow the
-// NVMDB survey and Optane PMM measurement numbers used throughout the
-// NVM-for-HPC literature.
+// (HMS): classically a small, fast DRAM paired with a large, slow
+// non-volatile memory (NVM), generalized to an ordered list of N tiers
+// (slowest first, fastest last — e.g. Optane, CXL-attached DRAM, local
+// DRAM) via HMS.Tiers. Device characteristics — read/write latency and
+// read/write bandwidth, which NVM technologies exhibit asymmetrically —
+// follow the NVMDB survey and Optane PMM measurement numbers used
+// throughout the NVM-for-HPC literature.
 //
 // All latencies are expressed in nanoseconds and all bandwidths in bytes
 // per second, as float64, so that they compose directly with the virtual
@@ -158,6 +160,25 @@ func OptanePM() DeviceSpec {
 		ReadPJPerByte:  60,
 		WritePJPerByte: 120,
 		StaticMWPerGB:  4,
+	}
+}
+
+// CXL returns a CXL-attached DRAM expander device spec, calibrated
+// between the local-DRAM and Optane bands: link traversal adds roughly
+// an order of magnitude of latency over local DRAM while bandwidth stays
+// DRAM-class (measured CXL 1.1 expanders land near 100-200 ns and
+// 50-70% of a local channel's bandwidth). The medium is DRAM, so access
+// energy matches DRAM and standby power pays refresh.
+func CXL() DeviceSpec {
+	return DeviceSpec{
+		Name:           "CXL",
+		ReadLatNS:      100,
+		WriteLatNS:     100,
+		ReadBW:         6e9,
+		WriteBW:        5e9,
+		ReadPJPerByte:  20,
+		WritePJPerByte: 20,
+		StaticMWPerGB:  110,
 	}
 }
 

@@ -1,12 +1,22 @@
 // Package migrate implements the proactive data-movement mechanism: a
-// helper thread that performs asynchronous DRAM<->NVM copies requested by
-// the runtime, overlapping them with task execution. The main runtime and
-// the helper interact through a FIFO request queue, exactly as in the
-// paper: the runtime enqueues movement requests as soon as the task
-// graph says they are dependence-safe; the helper performs them one at a
-// time at the copy bandwidth; the runtime checks completion before
-// dispatching a task whose data is in flight and accounts any wait as
-// exposed (non-overlapped) migration cost.
+// helper thread that performs asynchronous inter-tier copies (classically
+// DRAM<->NVM) requested by the runtime, overlapping them with task
+// execution. The main runtime and the helper interact through a FIFO
+// request queue, exactly as in the paper: the runtime enqueues movement
+// requests as soon as the task graph says they are dependence-safe; the
+// helper performs them one at a time at the tier pair's copy bandwidth;
+// the runtime checks completion before dispatching a task whose data is
+// in flight and accounts any wait as exposed (non-overlapped) migration
+// cost.
+//
+// Invariants: a chunk with any queued or in-flight request reports Busy
+// until every request settles (completion, cancellation, or a no-room
+// drop), so the runtime never dispatches a task over a moving chunk; a
+// request that cannot fit at its target tier is dropped without claiming
+// the copy channel, and the data stays readable where it is; and on the
+// two-tier machine every copy is charged at exactly the configured
+// CopyBW — per-pair bandwidths apply only when the machine has more than
+// two tiers.
 package migrate
 
 import (
@@ -72,6 +82,7 @@ type Engine struct {
 	sim     *sim.Engine
 	copyRes *sim.Resource
 	state   *heap.State
+	hms     mem.HMS
 
 	// Observer, if non-nil, is notified of every copy's start and end.
 	Observer Observer
@@ -91,6 +102,7 @@ func New(e *sim.Engine, state *heap.State, h mem.HMS) *Engine {
 		sim:     e,
 		copyRes: e.AddResource("copy", h.CopyBW),
 		state:   state,
+		hms:     h,
 		pending: make(map[heap.ChunkRef]int),
 	}
 }
@@ -201,8 +213,10 @@ func (m *Engine) kick() {
 			m.settle(r, true)
 			continue
 		}
-		if r.To == mem.InDRAM && !m.state.CanPromote(r.Ref) {
-			// No room: drop the promotion. The data stays readable in NVM.
+		if !m.state.CanMoveTo(r.Ref, r.To) {
+			// No room at the target tier: drop the movement. The data stays
+			// readable where it is. (On the two-tier machine only promotions
+			// can fail this way — the NVM tier is effectively unbounded.)
 			m.stats.Failed++
 			if m.Observer != nil {
 				m.Observer.CopyDropped(m.sim.Now(), r.Ref, r.To, m.state.ChunkSize(r.Ref))
@@ -214,12 +228,21 @@ func (m *Engine) kick() {
 		m.busy = true
 		m.current = r.Ref
 		size := m.state.ChunkSize(r.Ref)
+		// The copy resource runs at the configured promotion-path bandwidth
+		// (h.CopyBW). On machines with more than two tiers, each pair has
+		// its own sustainable bandwidth: scale the flow's service bytes so
+		// the copy takes size / CopyBWBetween(from, to) seconds of channel
+		// time. Two-tier machines keep the exact legacy charge.
+		bytes := float64(size)
+		if m.hms.NumTiers() > 2 {
+			bytes = float64(size) * m.hms.CopyBW / m.hms.CopyBWBetween(m.state.Tier(r.Ref), r.To)
+		}
 		if m.Observer != nil {
 			m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
 		}
 		m.sim.StartFlow(&sim.Flow{
 			Label:  "migrate:" + r.Ref.String(),
-			Stages: []sim.Stage{{Res: m.copyRes, Bytes: float64(size)}},
+			Stages: []sim.Stage{{Res: m.copyRes, Bytes: bytes}},
 			OnDone: func(now float64) {
 				err := m.state.Move(r.Ref, r.To)
 				ok := err == nil
@@ -229,7 +252,7 @@ func (m *Engine) kick() {
 				} else {
 					m.stats.Failed++
 				}
-				m.stats.CopySec += float64(size) / m.copyRes.Bandwidth()
+				m.stats.CopySec += bytes / m.copyRes.Bandwidth()
 				if m.Observer != nil {
 					m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
 				}

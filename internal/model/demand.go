@@ -24,6 +24,13 @@
 // profiles and calibrated with constant factors. The gap between the two
 // layers is the honest part of the reproduction: the runtime plans with
 // its model, the simulator charges the truth.
+//
+// Both layers are tier-general: demand accumulators are per-tier arrays
+// (TaskDemandTiered splits traffic over any number of tiers), and
+// tiers.go evaluates the benefit and migration-cost equations over
+// arbitrary tier pairs — the *Between functions and the TierCosts
+// matrices. Their contract: the classic pair (from=InNVM, to=InDRAM)
+// computes bit-identically to the legacy two-tier functions.
 package model
 
 import (
@@ -47,15 +54,17 @@ func AccessTime(loads, stores float64, mlp float64, d mem.DeviceSpec) (lat, bw f
 // Demand is a task's ground-truth resource demand under a placement.
 // Bandwidth demand is expressed in service seconds at the device's peak
 // (the simulation's device resources run at unit rate), so one second of
-// DevSec occupies the whole device for one second.
+// DevSec occupies the whole device for one second. Per-tier accumulators
+// are fixed mem.MaxTiers arrays (unused tiers stay zero) so the hot path
+// allocates nothing beyond the ObjSec map.
 type Demand struct {
 	// FixedSec is pure CPU time; it does not touch memory devices.
 	FixedSec float64
 	// DevSec[tier] is bandwidth-bound service time on each device.
-	DevSec [2]float64
+	DevSec [mem.MaxTiers]float64
 	// LatSec[tier] is the latency floor of the task's accesses on each
 	// device: its device stage cannot finish faster than this.
-	LatSec [2]float64
+	LatSec [mem.MaxTiers]float64
 	// ObjSec[obj] is the per-object memory time (the larger of floor and
 	// zero-contention bandwidth time); the profiler's time-share
 	// observations derive from it.
@@ -63,8 +72,8 @@ type Demand struct {
 
 	// BytesRead[tier] and BytesWritten[tier] are the task's traffic per
 	// device, for energy accounting.
-	BytesRead    [2]float64
-	BytesWritten [2]float64
+	BytesRead    [mem.MaxTiers]float64
+	BytesWritten [mem.MaxTiers]float64
 
 	// memSec accumulates the ObjSec total in access order, so MemSec is
 	// deterministic (map iteration order is not).
@@ -78,7 +87,7 @@ func (d Demand) MemSec() float64 { return d.memSec }
 // TotalSec returns the task's zero-contention execution time estimate.
 func (d Demand) TotalSec() float64 {
 	t := d.FixedSec
-	for tier := 0; tier < 2; tier++ {
+	for tier := 0; tier < mem.MaxTiers; tier++ {
 		dev := d.DevSec[tier]
 		if d.LatSec[tier] > dev {
 			dev = d.LatSec[tier]
@@ -86,6 +95,26 @@ func (d Demand) TotalSec() float64 {
 		t += dev
 	}
 	return t
+}
+
+// DevSecTotal sums the per-tier bandwidth service times in ascending
+// tier order (unused entries are zero, so summing the full array is
+// exact).
+func (d Demand) DevSecTotal() float64 {
+	var s float64
+	for tier := 0; tier < mem.MaxTiers; tier++ {
+		s += d.DevSec[tier]
+	}
+	return s
+}
+
+// LatSecTotal sums the per-tier latency floors in ascending tier order.
+func (d Demand) LatSecTotal() float64 {
+	var s float64
+	for tier := 0; tier < mem.MaxTiers; tier++ {
+		s += d.LatSec[tier]
+	}
+	return s
 }
 
 // StageRate returns the simulation rate cap for a tier's device stage:
@@ -113,6 +142,42 @@ func TaskDemand(t *task.Task, h mem.HMS, dramFrac func(task.ObjectID) float64) D
 			if tier == mem.InNVM {
 				share = 1 - f
 			}
+			if share <= 0 {
+				continue
+			}
+			loads := float64(a.Loads) * share
+			stores := float64(a.Stores) * share
+			lat, bw := AccessTime(loads, stores, a.MLP, h.Device(tier))
+			d.DevSec[tier] += bw
+			d.LatSec[tier] += lat
+			d.BytesRead[tier] += loads * mem.CacheLineSize
+			d.BytesWritten[tier] += stores * mem.CacheLineSize
+			if lat > bw {
+				objTime += lat
+			} else {
+				objTime += bw
+			}
+		}
+		d.ObjSec[a.Obj] += objTime
+		d.memSec += objTime
+	}
+	return d
+}
+
+// TaskDemandTiered is TaskDemand for machines with more than two tiers:
+// tierFrac gives, per (object, tier), the fraction of the object's bytes
+// resident on that tier, and traffic splits proportionally across every
+// tier holding a share. Tiers are visited fastest to slowest, matching
+// TaskDemand's DRAM-then-NVM order on the two-tier machine.
+func TaskDemandTiered(t *task.Task, h mem.HMS, tierFrac func(task.ObjectID, mem.Tier) float64) Demand {
+	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d.FixedSec = t.CPUSec
+	nt := h.NumTiers()
+	for _, a := range t.Accesses {
+		var objTime float64
+		for ti := nt - 1; ti >= 0; ti-- {
+			tier := mem.Tier(ti)
+			share := tierFrac(a.Obj, tier)
 			if share <= 0 {
 				continue
 			}

@@ -26,7 +26,10 @@ func HWCacheDemand(t *task.Task, h mem.HMS, hit float64) Demand {
 	}
 	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
 	d.FixedSec = t.CPUSec
-	dram, nvm := h.DRAM, h.NVM
+	// The cache pair is the fastest tier in front of the slowest; middle
+	// tiers of an N-tier machine are not part of Memory Mode.
+	fastT, slowT := h.Fastest(), mem.Tier(0)
+	dram, nvm := h.Device(fastT), h.Device(slowT)
 	for _, a := range t.Accesses {
 		mlp := a.MLP
 		if mlp < 1 {
@@ -47,14 +50,14 @@ func HWCacheDemand(t *task.Task, h mem.HMS, hit float64) Demand {
 		bwD := dramReads*mem.CacheLineSize/dram.ReadBW + dramWrites*mem.CacheLineSize/dram.WriteBW
 		bwN := nvmReads*mem.CacheLineSize/nvm.ReadBW + nvmWrites*mem.CacheLineSize/nvm.WriteBW
 
-		d.DevSec[mem.InDRAM] += bwD
-		d.LatSec[mem.InDRAM] += latD
-		d.DevSec[mem.InNVM] += bwN
-		d.LatSec[mem.InNVM] += latN
-		d.BytesRead[mem.InDRAM] += dramReads * mem.CacheLineSize
-		d.BytesWritten[mem.InDRAM] += dramWrites * mem.CacheLineSize
-		d.BytesRead[mem.InNVM] += nvmReads * mem.CacheLineSize
-		d.BytesWritten[mem.InNVM] += nvmWrites * mem.CacheLineSize
+		d.DevSec[fastT] += bwD
+		d.LatSec[fastT] += latD
+		d.DevSec[slowT] += bwN
+		d.LatSec[slowT] += latN
+		d.BytesRead[fastT] += dramReads * mem.CacheLineSize
+		d.BytesWritten[fastT] += dramWrites * mem.CacheLineSize
+		d.BytesRead[slowT] += nvmReads * mem.CacheLineSize
+		d.BytesWritten[slowT] += nvmWrites * mem.CacheLineSize
 		objTime := bwD + bwN
 		if latD+latN > objTime {
 			objTime = latD + latN

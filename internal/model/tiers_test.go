@@ -1,0 +1,176 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/task"
+)
+
+// The *Between functions' contract: evaluated over the classic pair
+// (from=InNVM, to=InDRAM) they must be bit-identical to the legacy
+// two-tier equations, for any parameter soup.
+func TestBetweenMatchesLegacyBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, drw := range []bool{false, true} {
+		h := mem.NewHMS(mem.DRAM(), mem.OptanePM(), 128*mem.MB)
+		p := Params{HMS: h, DistinguishRW: drw}
+		for i := 0; i < 500; i++ {
+			loads := rng.Float64() * 1e7
+			stores := rng.Float64() * 1e7
+			bwCons := rng.Float64() * 10e9
+			size := int64(rng.Intn(1 << 26))
+			overlap := rng.Float64() * 1e-2
+
+			if a, b := p.BenefitBWBetween(loads, stores, mem.InNVM, mem.InDRAM), p.BenefitBW(loads, stores); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("drw=%v: BenefitBWBetween %v != BenefitBW %v", drw, a, b)
+			}
+			if a, b := p.BenefitLatBetween(loads, stores, mem.InNVM, mem.InDRAM), p.BenefitLat(loads, stores); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("drw=%v: BenefitLatBetween %v != BenefitLat %v", drw, a, b)
+			}
+			if a, b := p.BenefitProfiledBetween(loads, stores, bwCons, mem.InNVM, mem.InDRAM), p.BenefitProfiled(loads, stores, bwCons); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("drw=%v: BenefitProfiledBetween %v != BenefitProfiled %v", drw, a, b)
+			}
+			if a, b := p.MigrationCostBetween(size, overlap, mem.InNVM, mem.InDRAM), p.MigrationCost(size, overlap); math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("drw=%v: MigrationCostBetween %v != MigrationCost %v", drw, a, b)
+			}
+		}
+	}
+}
+
+// TaskDemandTiered with a two-tier fraction function must reproduce
+// TaskDemand bit for bit: same per-tier accumulators, same ObjSec, same
+// MemSec.
+func TestTaskDemandTieredMatchesTwoTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := mem.NewHMS(mem.DRAM(), mem.OptanePM(), 64*mem.MB)
+	b := task.NewBuilder("tiered-demand")
+	objs := make([]task.ObjectID, 5)
+	for i := range objs {
+		objs[i] = b.Object("o", int64(i+1)*mem.MB)
+	}
+	var acc []task.Access
+	for i := 0; i < 9; i++ {
+		acc = append(acc, task.Access{
+			Obj:    objs[i%len(objs)],
+			Mode:   task.AccessMode(i % 3),
+			Loads:  int64(rng.Intn(300000)),
+			Stores: int64(rng.Intn(150000)),
+			MLP:    float64(1 + rng.Intn(10)),
+		})
+	}
+	b.Submit("k", 1e-5, acc, nil)
+	g := b.Build()
+	tk := g.Tasks[0]
+
+	fracs := make(map[task.ObjectID]float64)
+	for _, o := range objs {
+		fracs[o] = rng.Float64()
+	}
+	legacy := TaskDemand(tk, h, func(obj task.ObjectID) float64 { return fracs[obj] })
+	tiered := TaskDemandTiered(tk, h, func(obj task.ObjectID, tier mem.Tier) float64 {
+		if tier == mem.InDRAM {
+			return fracs[obj]
+		}
+		return 1 - fracs[obj]
+	})
+
+	if math.Float64bits(legacy.FixedSec) != math.Float64bits(tiered.FixedSec) {
+		t.Errorf("FixedSec differs")
+	}
+	if math.Float64bits(legacy.MemSec()) != math.Float64bits(tiered.MemSec()) {
+		t.Errorf("MemSec %v != %v", legacy.MemSec(), tiered.MemSec())
+	}
+	for tier := 0; tier < mem.MaxTiers; tier++ {
+		if math.Float64bits(legacy.DevSec[tier]) != math.Float64bits(tiered.DevSec[tier]) {
+			t.Errorf("DevSec[%d] %v != %v", tier, legacy.DevSec[tier], tiered.DevSec[tier])
+		}
+		if math.Float64bits(legacy.LatSec[tier]) != math.Float64bits(tiered.LatSec[tier]) {
+			t.Errorf("LatSec[%d] differs", tier)
+		}
+		if math.Float64bits(legacy.BytesRead[tier]) != math.Float64bits(tiered.BytesRead[tier]) {
+			t.Errorf("BytesRead[%d] differs", tier)
+		}
+		if math.Float64bits(legacy.BytesWritten[tier]) != math.Float64bits(tiered.BytesWritten[tier]) {
+			t.Errorf("BytesWritten[%d] differs", tier)
+		}
+	}
+	for obj, v := range legacy.ObjSec {
+		if math.Float64bits(v) != math.Float64bits(tiered.ObjSec[obj]) {
+			t.Errorf("ObjSec[%d] %v != %v", obj, v, tiered.ObjSec[obj])
+		}
+	}
+}
+
+// On a three-tier machine the demand must land on the tier the fraction
+// function names, and the total must cover every share.
+func TestTaskDemandTieredThreeTier(t *testing.T) {
+	h := mem.DRAMCXLNVM(64*mem.MB, 128*mem.MB)
+	b := task.NewBuilder("tiered-3")
+	o := b.Object("o", 8*mem.MB)
+	b.Submit("k", 0, []task.Access{{Obj: o, Mode: task.In, Loads: 100000, MLP: 4}}, nil)
+	g := b.Build()
+
+	shares := []float64{0.2, 0.3, 0.5} // NVM, CXL, DRAM
+	d := TaskDemandTiered(g.Tasks[0], h, func(_ task.ObjectID, tier mem.Tier) float64 {
+		return shares[tier]
+	})
+	for tier := 0; tier < 3; tier++ {
+		if d.DevSec[tier] <= 0 {
+			t.Errorf("tier %d got no bandwidth demand", tier)
+		}
+		wantBytes := 100000 * shares[tier] * mem.CacheLineSize
+		if math.Abs(d.BytesRead[tier]-wantBytes) > 1 {
+			t.Errorf("tier %d read bytes %v, want %v", tier, d.BytesRead[tier], wantBytes)
+		}
+	}
+	if d.DevSec[3] != 0 || d.LatSec[3] != 0 {
+		t.Errorf("unused tier 3 accumulated demand")
+	}
+	// CXL is slower than DRAM and faster than Optane per byte: with these
+	// shares the NVM share must dominate its DRAM-equivalent traffic time.
+	if d.DevSec[0] <= d.DevSec[2]*shares[0]/shares[2] {
+		t.Errorf("NVM share not slower per byte than DRAM share: %v vs %v", d.DevSec[0], d.DevSec[2])
+	}
+}
+
+// TierCostsFor's matrices must be consistent with the pairwise functions
+// and antisymmetric in sign on the access side.
+func TestTierCostsFor(t *testing.T) {
+	h := mem.DRAMCXLNVM(64*mem.MB, 128*mem.MB)
+	p := Params{HMS: h, DistinguishRW: true}
+	tc := p.TierCostsFor(2e6, 1e6, 8e9, 16*mem.MB, 1e-3)
+	if tc.N != 3 {
+		t.Fatalf("N = %d, want 3", tc.N)
+	}
+	for i := 0; i < 3; i++ {
+		if tc.Access[i][i] != 0 || tc.Migration[i][i] != 0 {
+			t.Errorf("diagonal (%d,%d) not zero", i, i)
+		}
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			want := p.BenefitProfiledBetween(2e6, 1e6, 8e9, mem.Tier(i), mem.Tier(j))
+			if math.Float64bits(tc.Access[i][j]) != math.Float64bits(want) {
+				t.Errorf("Access[%d][%d] mismatch", i, j)
+			}
+			if tc.Migration[i][j] < 0 {
+				t.Errorf("Migration[%d][%d] negative", i, j)
+			}
+		}
+	}
+	// Moving up the hierarchy saves time; moving down costs it.
+	if tc.Access[0][2] <= 0 {
+		t.Errorf("NVM->DRAM benefit %v, want > 0", tc.Access[0][2])
+	}
+	if tc.Access[2][0] >= 0 {
+		t.Errorf("DRAM->NVM benefit %v, want < 0", tc.Access[2][0])
+	}
+	if tc.Access[0][1] <= 0 || tc.Access[0][1] >= tc.Access[0][2] {
+		t.Errorf("NVM->CXL benefit %v should be positive and below NVM->DRAM %v",
+			tc.Access[0][1], tc.Access[0][2])
+	}
+}

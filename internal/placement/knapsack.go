@@ -4,7 +4,16 @@
 // equation (7) — choose the subset to keep in DRAM that maximizes total
 // weight without exceeding the DRAM capacity. This is a 0-1 knapsack
 // problem; the runtime solves it with dynamic programming, and the test
-// suite cross-checks the DP against greedy and exhaustive solvers.
+// suite cross-checks the DP against greedy and exhaustive solvers. For
+// machines with more than two tiers, AssignTiers extends the solve to a
+// multiple-choice knapsack (one tier per chunk, capacity per tier) as a
+// fastest-first cascade of 0-1 knapsacks.
+//
+// Invariants: Solver memoization keys are exact canonical signatures of
+// the numeric inputs — capacity, granularity, every item's (Size,
+// Float64bits(Weight)), and for SolveTagged the caller's tag — so a
+// cache hit is bit-identical to a cold DP by construction; and a chosen
+// set always really fits, because sizes quantize up.
 package placement
 
 import (

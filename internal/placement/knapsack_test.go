@@ -213,7 +213,7 @@ func TestSolverKeyExact(t *testing.T) {
 	s.Solve(base, 100, 1)
 
 	variants := [][]Item{
-		{item(0, 31, 2), item(1, 40, 3)},            // size
+		{item(0, 31, 2), item(1, 40, 3)},                  // size
 		{item(0, 30, 2.0000000000000004), item(1, 40, 3)}, // one ULP
 		{item(0, 30, 2), item(1, 40, 3), item(2, 5, 1)},   // length
 	}

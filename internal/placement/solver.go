@@ -60,5 +60,33 @@ func (s *Solver) Solve(items []Item, capacity, gran int64) []int {
 	return chosen
 }
 
+// SolveTagged is Solve with an extra caller-chosen tag folded into the
+// memo key. The multiple-choice tier cascade (AssignTiers) uses the tier
+// id as the tag: each tier's stage sees items whose weights are that
+// tier's benefits, and the tag keeps two tiers' coincidentally equal
+// candidate patterns from aliasing each other's cached answers.
+func (s *Solver) SolveTagged(tag uint64, items []Item, capacity, gran int64) []int {
+	if s.cache == nil {
+		s.cache = make(map[string][]int)
+	}
+	k := s.key[:0]
+	k = binary.LittleEndian.AppendUint64(k, ^tag) // distinct prefix space from Solve keys
+	k = binary.LittleEndian.AppendUint64(k, uint64(capacity))
+	k = binary.LittleEndian.AppendUint64(k, uint64(gran))
+	for _, it := range items {
+		k = binary.LittleEndian.AppendUint64(k, uint64(it.Size))
+		k = binary.LittleEndian.AppendUint64(k, math.Float64bits(it.Weight))
+	}
+	s.key = k
+	if chosen, ok := s.cache[string(k)]; ok {
+		s.Hits++
+		return chosen
+	}
+	s.Misses++
+	chosen := Knapsack(items, capacity, gran)
+	s.cache[string(k)] = chosen
+	return chosen
+}
+
 // Len returns the number of cached solutions.
 func (s *Solver) Len() int { return len(s.cache) }

@@ -336,6 +336,11 @@ func parseTier(s string) (mem.Tier, error) {
 	case mem.InNVM.String():
 		return mem.InNVM, nil
 	}
+	// Middle tiers of an N-tier machine print as "T<n>" (mem.Tier.String).
+	var n int
+	if _, err := fmt.Sscanf(s, "T%d", &n); err == nil && n >= 0 && n < mem.MaxTiers {
+		return mem.Tier(n), nil
+	}
 	return 0, fmt.Errorf("trace: unknown tier %q", s)
 }
 

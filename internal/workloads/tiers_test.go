@@ -1,0 +1,34 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// Every application workload must run to completion on the three-tier
+// DRAM+CXL+NVM machine under the full Tahoe runtime — the wiring E18
+// sweeps. Small scales keep this a smoke test, not a benchmark.
+func TestAppsOnThreeTierMachine(t *testing.T) {
+	scales := map[string]int{
+		"cholesky": 6, "lu": 6, "sparselu": 8, "heat": 6, "cg": 6,
+		"wave": 6, "pagerank": 4, "kmeans": 4, "strassen": 1,
+		"bfs": 5, "qr": 5, "fft": 20, "sort": 20, "nqueens": 8,
+	}
+	h := mem.DRAMCXLNVM(32*mem.MB, 64*mem.MB)
+	for _, s := range workloads.Apps() {
+		g := s.Build(workloads.Params{Scale: scales[s.Name]}).Graph
+		cfg := core.DefaultConfig(h)
+		cfg.Policy = core.Tahoe
+		cfg.Workers = 4
+		res, err := core.Run(g, cfg)
+		if err != nil {
+			t.Fatalf("%s on 3-tier machine: %v", s.Name, err)
+		}
+		if res.Tasks != len(g.Tasks) || res.Time <= 0 {
+			t.Fatalf("%s: bad result %+v", s.Name, res)
+		}
+	}
+}

@@ -10,8 +10,10 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-20x}"
 
 # Replay determinism smoke: record → save → load → replay must be
-# bit-identical before timing anything.
+# bit-identical before timing anything — on the classic two-tier machine
+# and on the three-tier DRAM+CXL+NVM machine E18 sweeps.
 go run ./cmd/tahoe-replay -check -workload cg
+go run ./cmd/tahoe-replay -check -workload heat -cxl 64 -dram 32
 
 out="$(go test -run '^$' \
   -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick|BenchmarkPlannerGlobal$|BenchmarkPlannerLocal$|BenchmarkPlannerReplan$' \

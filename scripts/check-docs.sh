@@ -1,0 +1,34 @@
+#!/bin/sh
+# check-docs.sh — docs-consistency gate. Fails if any cmd/ binary is not
+# mentioned in README.md, or any registered experiment ID (the
+# Experiment{"<ID>", ...} literals in the root package) is not documented
+# in EXPERIMENTS.md. Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+bad=0
+
+for d in cmd/*/; do
+  name="$(basename "$d")"
+  if ! grep -q "$name" README.md; then
+    echo "check-docs: cmd/$name not mentioned in README.md" >&2
+    bad=1
+  fi
+done
+
+ids="$(sed -n 's/.*Experiment{"\([ET][0-9][0-9]*\)".*/\1/p' ./*.go | sort -u)"
+if [ -z "$ids" ]; then
+  echo "check-docs: found no registered experiment IDs" >&2
+  exit 1
+fi
+for id in $ids; do
+  if ! grep -q "$id" EXPERIMENTS.md; then
+    echo "check-docs: experiment $id not documented in EXPERIMENTS.md" >&2
+    bad=1
+  fi
+done
+
+if [ "$bad" -ne 0 ]; then
+  exit 1
+fi
+echo "check-docs: every cmd/ binary and experiment ID is documented"

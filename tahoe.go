@@ -55,6 +55,10 @@ type (
 	DeviceSpec = mem.DeviceSpec
 	// HMS describes the heterogeneous memory system under test.
 	HMS = mem.HMS
+	// TierSpec describes one tier of an N-tier HMS: device plus capacity.
+	TierSpec = mem.TierSpec
+	// Tier identifies one tier of the machine (0 = slowest).
+	Tier = mem.Tier
 )
 
 // Byte sizes.
@@ -71,10 +75,15 @@ var (
 	PCRAM        = mem.PCRAM
 	ReRAM        = mem.ReRAM
 	OptanePM     = mem.OptanePM
+	CXL          = mem.CXL
 	NVMBandwidth = mem.NVMBandwidth
 	NVMLatency   = mem.NVMLatency
 	NewHMS       = mem.NewHMS
 	DRAMOnlyHMS  = mem.DRAMOnly
+	// NewTieredHMS builds an N-tier machine from specs ordered slowest to
+	// fastest; DRAMCXLNVM is the three-tier DRAM + CXL + Optane preset.
+	NewTieredHMS = mem.NewTieredHMS
+	DRAMCXLNVM   = mem.DRAMCXLNVM
 )
 
 // Runtime configuration and results.
