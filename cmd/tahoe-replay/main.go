@@ -61,6 +61,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "simulated workers")
 		cxlMB    = flag.Int64("cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
 		csvPath  = flag.String("csv", "", "with -record: also export the event log as CSV here")
+		faults   = flag.String("faults", "", `fault schedule for -record/-check, e.g. "rate=1,seed=7,horizon=2"`)
 	)
 	flag.Parse()
 
@@ -76,6 +77,12 @@ func main() {
 	p, ok := policies[*policy]
 	if !ok {
 		fail("unknown policy %q", *policy)
+	}
+	// Faults apply when recording; a replay reconstructs the schedule
+	// from the recording's metadata instead.
+	fsched, err := tahoe.ParseFaultSpec(*faults)
+	if err != nil {
+		fail("%v", err)
 	}
 	machine := func() tahoe.HMS {
 		nvm := tahoe.NVMBandwidth(*frac)
@@ -115,7 +122,9 @@ func main() {
 	switch {
 	case *record != "":
 		g := buildGraph(*workload)
-		res, rec, err := tahoe.Record(g, buildCfg(p))
+		cfg := buildCfg(p)
+		cfg.Faults = fsched
+		res, rec, err := tahoe.Record(g, cfg)
 		if err != nil {
 			fail("record: %v", err)
 		}
@@ -182,7 +191,7 @@ func main() {
 			"metric", rec.Meta.Policy+" (recorded)", variant.Policy+" (replayed)", "ratio")
 		tb.AddRow("makespan (s)", report.Sec(base.Time), report.Sec(variant.Time), report.Norm(variant.Time, base.Time))
 		tb.AddRow("migrations", report.Int(base.Migration.Migrations), report.Int(variant.Migration.Migrations), "")
-		tb.AddRow("failed migrations", report.Int(base.Migration.Failed), report.Int(variant.Migration.Failed), "")
+		tb.AddRow("failed migrations", report.Int(base.Migration.Failed()), report.Int(variant.Migration.Failed()), "")
 		tb.AddRow("bytes moved (MB)", report.MB(base.Migration.BytesMoved), report.MB(variant.Migration.BytesMoved), "")
 		tb.AddRow("exposed copy (s)", report.Sec(base.Migration.ExposedSec), report.Sec(variant.Migration.ExposedSec), "")
 		tb.AddRow("energy (J)", report.F(base.EnergyJ), report.F(variant.EnergyJ), report.Norm(variant.EnergyJ, base.EnergyJ))
@@ -194,6 +203,7 @@ func main() {
 	case *check:
 		g := buildGraph(*workload)
 		cfg := buildCfg(p)
+		cfg.Faults = fsched
 		orig, rec, err := tahoe.Record(g, cfg)
 		if err != nil {
 			fail("record: %v", err)

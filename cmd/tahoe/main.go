@@ -47,6 +47,7 @@ func main() {
 		lookahead = flag.Int("lookahead", 16, "proactive migration lookahead (tasks)")
 		kernels   = flag.Bool("kernels", false, "execute and verify the real numerical kernels")
 		calibrate = flag.Bool("calibrate", true, "calibrate model constant factors first")
+		faults    = flag.String("faults", "", `fault schedule, e.g. "rate=1,seed=7,horizon=2" ("" = none)`)
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -90,6 +91,11 @@ func main() {
 	cfg.Scheduler = sc
 	cfg.Lookahead = *lookahead
 	cfg.RunKernels = *kernels
+	if fs, err := tahoe.ParseFaultSpec(*faults); err != nil {
+		fail("%v", err)
+	} else {
+		cfg.Faults = fs
+	}
 	if *calibrate {
 		f, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
 		if err != nil {
@@ -127,6 +133,10 @@ func main() {
 	fmt.Printf("migrations  %d (%d MB moved, %.1f%% overlapped)\n",
 		res.Migration.Migrations, res.Migration.BytesMoved>>20,
 		res.Migration.OverlapFraction()*100)
+	if cfg.Faults != nil {
+		fmt.Printf("faults      %d injected, %d retries, %d abandoned, %d quarantines\n",
+			res.FaultEvents, res.Migration.Retries, res.Migration.Abandoned, res.Quarantines)
+	}
 	fmt.Printf("overhead    %.2f%% of makespan (profiling %.4fs, solver %.4fs, sync %.4fs)\n",
 		res.OverheadFraction()*100, res.OverheadProfilingSec, res.OverheadSolverSec, res.OverheadSyncSec)
 	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, *dramMB)

@@ -1,0 +1,88 @@
+package tahoe
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{"E19", "Resilience under injected faults (makespan vs fault rate)", expE19})
+}
+
+// e19Seed fixes the fault schedules so the table is reproducible; the
+// per-workload offset decorrelates schedules between workloads.
+const e19Seed = 1900
+
+// expE19 sweeps the fault-injection rate and compares how gracefully the
+// policies degrade: Tahoe (which retries, re-plans and quarantines)
+// against FirstTouch (which migrates nothing and so only feels device
+// degradation) and NVM-only (the no-DRAM floor). Makespans are
+// normalized to the fault-free Tahoe run of the same workload, so the
+// rate-0 row reads 1.000 by construction and every later row is the
+// price of that fault intensity.
+func expE19(opt ExpOptions) (*Table, error) {
+	t := report.New("E19", "Graceful degradation under injected faults (1/2-bandwidth NVM)",
+		"Workload", "Rate (/s)", "Tahoe", "FirstTouch", "NVM-only", "Retries", "Abandoned", "Quarantines", "Overlap")
+	h := hmsBW(0.5)
+	rates := []float64{0, 1, 2, 4}
+	if opt.Quick {
+		rates = []float64{0, 2}
+	}
+	apps := e19Apps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
+		g := buildApp(s, opt)
+		// Fault-free Tahoe: the normalization baseline and the horizon the
+		// schedules are generated against, so faults land inside the run.
+		base := mustRun(g, expConfig(h, core.Tahoe))
+		var out [][]string
+		for ri, rate := range rates {
+			var sched *fault.Schedule
+			if rate > 0 {
+				sched = fault.Random(e19Seed+int64(i), rate, base.Time, h.NumTiers())
+			}
+			run := func(p core.Policy) core.Result {
+				cfg := expConfig(h, p)
+				cfg.Faults = sched
+				return mustRun(g, cfg)
+			}
+			ta := run(core.Tahoe)
+			ft := run(core.FirstTouch)
+			nv := run(core.NVMOnly)
+			name := s.Name
+			if ri > 0 {
+				name = ""
+			}
+			out = append(out, []string{name,
+				fmt.Sprintf("%.0f", rate),
+				report.Norm(ta.Time, base.Time),
+				report.Norm(ft.Time, base.Time),
+				report.Norm(nv.Time, base.Time),
+				report.Int(ta.Migration.Retries),
+				report.Int(ta.Migration.Abandoned),
+				report.Int(ta.Quarantines),
+				report.Pct(ta.Migration.OverlapFraction())})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
+	t.Note("makespans normalized to fault-free Tahoe; Retries/Abandoned/Quarantines/Overlap are the Tahoe run's")
+	t.Note("schedules from RandomFaults(seed, rate, horizon=fault-free makespan); same seed per workload across rates")
+	return t, nil
+}
+
+// e19Apps keeps the sweep to four representative applications — the
+// grid is rates x policies x workloads and each faulty cell still runs
+// the full runtime.
+func e19Apps(opt ExpOptions) []workloads.Spec {
+	quick := opt
+	quick.Quick = true
+	return expApps(quick)
+}

@@ -100,7 +100,7 @@ func expE6(opt ExpOptions) (*Table, error) {
 // runtime cost and the fraction of copy time hidden under execution.
 func expE7(opt ExpOptions) (*Table, error) {
 	t := report.New("E7", "Migration details, Tahoe on 1/2-bandwidth NVM",
-		"Workload", "Migrations", "Moved (MB)", "Runtime cost", "Overlap", "Mem busy", "Replans", "Plan")
+		"Workload", "Migrations", "Drops", "MoveFail", "Moved (MB)", "Runtime cost", "Overlap", "Mem busy", "Replans", "Plan")
 	h := hmsBW(0.5)
 	apps := expApps(opt)
 	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
@@ -109,6 +109,8 @@ func expE7(opt ExpOptions) (*Table, error) {
 		r := mustRun(g, expConfig(h, core.Tahoe))
 		return oneRow(s.Name,
 			report.Int(r.Migration.Migrations),
+			report.Int(r.Migration.Dropped),
+			report.Int(r.Migration.MoveFailed),
 			report.MB(r.Migration.BytesMoved),
 			report.Pct(r.OverheadFraction()),
 			report.Pct(r.Migration.OverlapFraction()),
@@ -121,5 +123,6 @@ func expE7(opt ExpOptions) (*Table, error) {
 	}
 	addRows(t, rows)
 	t.Note("runtime cost = profiling + solver + helper-queue synchronization, as a share of makespan")
+	t.Note("Drops = requests rejected before any copy (no room / became moot); MoveFail = copies whose final commit failed")
 	return t, nil
 }

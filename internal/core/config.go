@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/prof"
 	"repro/internal/sched"
@@ -201,6 +202,11 @@ type Config struct {
 	// started reports whether a task has begun execution, letting such a
 	// queue skip recorded occurrences that this run already consumed.
 	NewQueue func(workers int, started func(task.TaskID) bool) sched.Queue
+	// Faults, if non-nil, injects the scheduled faults into the run and
+	// arms the runtime's resilience machinery (migration retry/backoff,
+	// per-copy timeouts, tier quarantine). nil — and, bit-identically, an
+	// empty schedule — reproduces the fault-free run exactly.
+	Faults *fault.Schedule
 }
 
 // DefaultConfig returns a full-system configuration on the given machine.
@@ -235,6 +241,9 @@ func (c Config) Validate() error {
 	}
 	if c.Policy == Pinned && c.Pin == nil {
 		return fmt.Errorf("core: Pinned policy needs a Pin selector")
+	}
+	if err := c.Faults.Validate(c.HMS.NumTiers()); err != nil {
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// float64Fields extracts every float64 carried by a Result (its own and
+// its Migration stats') for bit-exact comparison.
+func float64Fields(r Result) []float64 {
+	return []float64{
+		r.Time,
+		r.RuntimeOverheadSec, r.OverheadProfilingSec, r.OverheadSolverSec, r.OverheadSyncSec,
+		r.EnergyJ, r.EnergyDynamicJ, r.EnergyStaticJ,
+		r.MemBusyFrac, r.CopyBusyFrac,
+		r.Migration.CopySec, r.Migration.ExposedSec,
+	}
+}
+
+// TestNilFaultScheduleIsBitIdentical is the tentpole's hard contract: a
+// nil fault schedule — and, equally, an empty one — must reproduce the
+// pre-fault-subsystem run bit-for-bit across every policy. Float fields
+// are compared by their IEEE-754 bit patterns, not with a tolerance.
+func TestNilFaultScheduleIsBitIdentical(t *testing.T) {
+	h := mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 64*mem.MB)
+	s, err := workloads.ByName("heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{NVMOnly, FirstTouch, XMem, HWCache, PhaseBased, Tahoe} {
+		build := func(faults *fault.Schedule) Result {
+			g := s.Build(workloads.Params{Scale: 6}).Graph
+			cfg := DefaultConfig(h)
+			cfg.Policy = p
+			cfg.Faults = faults
+			res, err := Run(g, cfg)
+			if err != nil {
+				t.Fatalf("%v: %v", p, err)
+			}
+			return res
+		}
+		base := build(nil)
+		for name, faults := range map[string]*fault.Schedule{
+			"nil-again": nil,
+			"empty":     {},
+			"zero-rate": fault.Random(99, 0, 1, 2),
+		} {
+			got := build(faults)
+			if got != base {
+				t.Errorf("%v/%s: Result differs:\nbase %+v\ngot  %+v", p, name, base, got)
+				continue
+			}
+			bf, gf := float64Fields(base), float64Fields(got)
+			for i := range bf {
+				if math.Float64bits(bf[i]) != math.Float64bits(gf[i]) {
+					t.Errorf("%v/%s: float field %d differs bitwise: %x vs %x",
+						p, name, i, math.Float64bits(bf[i]), math.Float64bits(gf[i]))
+				}
+			}
+		}
+	}
+}

@@ -110,6 +110,9 @@ func (r *runner) computeTierPlan(future []*task.Task) planResult {
 	caps := make([]int64, nt)
 	for t := 1; t < nt; t++ {
 		caps[t] = r.cfg.HMS.Capacity(mem.Tier(t))
+		if r.quarantinedTier(mem.Tier(t)) {
+			caps[t] = 0 // closed: AssignTiers skips the tier's stage
+		}
 	}
 	assign := placement.AssignTiers(p.solver, items, caps, placement.DefaultGranularity)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/migrate"
@@ -54,6 +55,11 @@ type Result struct {
 	// channel.
 	MemBusyFrac  float64
 	CopyBusyFrac float64
+	// FaultEvents counts fault-schedule activations that fired during the
+	// run; Quarantines counts tier-quarantine episodes the runtime opened
+	// in response. Both are 0 without fault injection.
+	FaultEvents int
+	Quarantines int
 }
 
 // EDP returns the energy-delay product in joule-seconds.
@@ -163,7 +169,27 @@ type runner struct {
 	// migrations: the honest definition of exposed (non-overlapped)
 	// migration cost.
 	exposureSince float64
+
+	// Fault-injection state (all nil/zero without cfg.Faults, and every
+	// consumer is gated so the fault-free paths stay bit-identical).
+	flt *fault.Injector
+	// quarantined[t] marks a tier the runtime has stopped targeting after
+	// a fault burst; tierFaults[t] counts injected failures since the
+	// tier's last readmission.
+	quarantined []bool
+	tierFaults  []int
+	quarantines int
+	faultEvents int
 }
+
+// quarantineThreshold is how many injected copy failures (since the last
+// readmission) a tier absorbs before the runtime quarantines it, and
+// minQuarantineSec how long a quarantine lasts when the fault schedule
+// names no later recovery point for the tier.
+const (
+	quarantineThreshold = 3
+	minQuarantineSec    = 0.05
+)
 
 // Run executes the task graph under the configuration and returns the
 // simulated result. The graph is not mutated and may be reused.
@@ -183,6 +209,17 @@ func Run(g *task.Graph, cfg Config) (Result, error) {
 	if r.completed != len(g.Tasks) {
 		return Result{}, fmt.Errorf("core: completed %d of %d tasks", r.completed, len(g.Tasks))
 	}
+	// Quiescence invariants: the helper thread must have settled every
+	// request — nothing queued, no chunk still reporting Busy. A violation
+	// would mean a task could have been dispatched over a moving chunk.
+	if q, p := r.mig.QueueLen(), r.mig.PendingCount(); q != 0 || p != 0 {
+		return Result{}, fmt.Errorf("core: %d queued and %d pending migrations after quiescence", q, p)
+	}
+	if r.cfg.Faults != nil {
+		if err := r.st.CheckInvariants(); err != nil {
+			return Result{}, fmt.Errorf("core: after faulty run: %w", err)
+		}
+	}
 	if testHook != nil {
 		testHook(r)
 	}
@@ -199,6 +236,8 @@ func Run(g *task.Graph, cfg Config) (Result, error) {
 		PlanKind:             r.plan.kind,
 		Replans:              r.replans,
 		DRAMHighWaterBytes:   r.highWater,
+		FaultEvents:          r.faultEvents,
+		Quarantines:          r.quarantines,
 	}
 	res.EnergyDynamicJ, res.EnergyStaticJ = r.energy(end)
 	res.EnergyJ = res.EnergyDynamicJ + res.EnergyStaticJ
@@ -291,6 +330,18 @@ func (r *runner) setup() error {
 	r.mig = migrate.New(r.e, st, hms)
 	if r.cfg.Trace != nil {
 		r.mig.Observer = traceObserver{r.cfg.Trace}
+	}
+	// An empty schedule arms nothing: even inert resilience timers split
+	// the fluid integration's steps differently at the last ulp, so the
+	// empty-equals-nil contract is kept by construction.
+	if !r.cfg.Faults.Empty() {
+		r.flt = fault.NewInjector(r.e, r.cfg.Faults)
+		r.flt.OnEvent = r.onFaultEvent
+		r.flt.OnCopyFault = r.onCopyFault
+		r.flt.Install()
+		r.mig.Faults = r.flt
+		r.quarantined = make([]bool, hms.NumTiers())
+		r.tierFaults = make([]int, hms.NumTiers())
 	}
 	r.profiler = prof.New(r.cfg.Prof)
 	r.params = model.Params{
@@ -577,7 +628,7 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 
 	var d model.Demand
 	if r.cfg.Policy == HWCache {
-		d = model.HWCacheDemand(t, r.cfg.HMS, r.hwFrac)
+		d = model.HWCacheDemand(t, r.machineHMS(), r.hwFrac)
 	} else if r.st.NumTiers() > 2 {
 		d = model.TaskDemandTiered(t, r.machineHMS(), r.tierFrac)
 	} else {
@@ -660,8 +711,15 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 
 // machineHMS returns the device view the timing model should use: for
 // DRAMOnly the NVM tier never sees traffic anyway; for HWCache misses go
-// to NVM per dramFrac, which is exactly the blended view.
-func (r *runner) machineHMS() mem.HMS { return r.cfg.HMS }
+// to NVM per dramFrac, which is exactly the blended view. Under fault
+// injection it is the degraded view of the live fault windows — a task
+// starting during a tier's bandwidth sag is charged at the sagged rate.
+func (r *runner) machineHMS() mem.HMS {
+	if r.flt != nil {
+		return r.flt.DegradedView(r.cfg.HMS)
+	}
+	return r.cfg.HMS
+}
 
 // profilesKinds reports whether this policy runs the online profiler.
 func (r *runner) profilesKinds() bool {
@@ -960,6 +1018,136 @@ func (o traceObserver) CopyDropped(now float64, ref heap.ChunkRef, to mem.Tier, 
 		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
 }
 
+// CopyRetried and CopyAbandoned record the resilience lifecycle
+// (migrate.FaultObserver): one MigrationRetry event per decision, OK
+// distinguishing a re-queue (true) from giving up (false).
+func (o traceObserver) CopyRetried(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, attempt int) {
+	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationRetry,
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes, OK: true})
+}
+
+func (o traceObserver) CopyAbandoned(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64) {
+	o.t.Add(trace.Event{Time: now, Kind: trace.MigrationRetry,
+		Obj: ref.Obj, Chunk: ref.Index, To: to, Bytes: bytes})
+}
+
+// onFaultEvent observes every fault-schedule boundary: it traces the
+// window, and opens/closes outage quarantines directly (outages are
+// declared, not inferred from failure counts).
+func (r *runner) onFaultEvent(now float64, ev fault.Event, active bool) {
+	if active {
+		r.faultEvents++
+	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.FaultInject,
+			Label: ev.Kind.String(), To: ev.Tier, OK: active})
+	}
+	if ev.Kind == fault.TierOutage && int(ev.Tier) < len(r.quarantined) {
+		if active {
+			r.quarantineTier(now, ev.Tier, ev.Until)
+		} else if r.quarantined[ev.Tier] {
+			r.readmitTier(now, ev.Tier)
+		}
+	}
+}
+
+// onCopyFault counts injected copy failures per destination tier and
+// quarantines a tier whose count since its last readmission crosses the
+// threshold. The backing store is never quarantined — there is nowhere
+// below it to drain to.
+func (r *runner) onCopyFault(now float64, from, to mem.Tier) {
+	if int(to) >= len(r.tierFaults) || to == 0 {
+		return
+	}
+	r.tierFaults[to]++
+	if !r.quarantined[to] && r.tierFaults[to] >= quarantineThreshold {
+		r.quarantineTier(now, to, r.flt.RecoveryAt(to, now))
+	}
+}
+
+// quarantinedTier reports whether tier t is currently quarantined; always
+// false without fault injection (the slice is nil).
+func (r *runner) quarantinedTier(t mem.Tier) bool {
+	return int(t) < len(r.quarantined) && r.quarantined[t]
+}
+
+// quarantineTier stops targeting tier t until the given recovery point
+// (or a minimum hold when the schedule names none): planners and
+// promotions skip it, and current residents drain one step down so work
+// keeps running at the speed of the remaining tiers. Re-entrant calls
+// (an outage window opening on an already rate-quarantined tier) only
+// trace once.
+func (r *runner) quarantineTier(now float64, t mem.Tier, until float64) {
+	if r.quarantined[t] {
+		return
+	}
+	r.quarantined[t] = true
+	r.quarantines++
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.TierQuarantine, To: t, OK: true})
+	}
+	if r.planned {
+		r.needReplan = true
+	}
+	r.drainTier(t)
+	if until <= now {
+		until = now + minQuarantineSec
+	}
+	r.e.AtDaemon(until, func(at float64) {
+		if r.quarantined[t] {
+			r.readmitTier(at, t)
+		}
+	})
+	r.scheduleDispatch()
+}
+
+// readmitTier reopens tier t and re-enforces the current plan so the
+// drained residents repopulate it proactively.
+func (r *runner) readmitTier(now float64, t mem.Tier) {
+	r.quarantined[t] = false
+	r.tierFaults[t] = 0
+	if r.cfg.Trace != nil {
+		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.TierReadmit, To: t, OK: true})
+	}
+	if r.planned && r.cfg.Tech.Proactive && r.cfg.Policy == Tahoe {
+		if r.plan.kind == "global" {
+			r.enforceGlobal()
+		} else {
+			r.proactiveScan()
+		}
+	}
+	r.scheduleDispatch()
+}
+
+// drainTier demotes tier t's residents one step down the hierarchy via
+// the normal makeRoomOn ripple, skipping chunks that are in use or
+// already moving. Chunks that cannot fit anywhere below stay put — data
+// is never lost, merely slow — and the planner simply stops adding more.
+func (r *runner) drainTier(t mem.Tier) {
+	below := t - 1
+	for below > 0 && r.quarantinedTier(below) {
+		below--
+	}
+	for _, o := range r.g.Objects {
+		if r.inUse[o.ID] > 0 || r.mig.BusyObject(o.ID) {
+			continue
+		}
+		for _, ref := range r.st.Refs(o.ID) {
+			if r.st.Tier(ref) != t || r.mig.Busy(ref) {
+				continue
+			}
+			size := r.st.ChunkSize(ref)
+			if r.st.TierAvail(below)-r.pendingTier[below] < size {
+				r.makeRoomOn(below, size, nil)
+			}
+			if r.st.TierAvail(below)-r.pendingTier[below] < size {
+				continue
+			}
+			r.enqueueMove(ref, below, -1)
+		}
+	}
+}
+
 // finishPlan charges the solver's runtime cost.
 func (r *runner) finishPlan(now float64, cost float64) {
 	r.planned = true
@@ -1099,8 +1287,12 @@ func (r *runner) tryPromote(ref heap.ChunkRef, keep planSet, forTask task.TaskID
 }
 
 // tryPromoteTo is tryPromote with an explicit target tier (used by the
-// tier plan on machines with more than two tiers).
+// tier plan on machines with more than two tiers). A quarantined target
+// refuses the promotion outright; the scan retries after readmission.
 func (r *runner) tryPromoteTo(ref heap.ChunkRef, to mem.Tier, keep planSet, forTask task.TaskID) bool {
+	if r.quarantinedTier(to) {
+		return false
+	}
 	size := r.st.ChunkSize(ref)
 	r.makeRoomOn(to, size, keep)
 	if r.st.TierAvail(to)-r.pendingTier[to] < size {
@@ -1157,6 +1349,9 @@ func (r *runner) makeRoomOn(t mem.Tier, size int64, keep planSet) {
 			(victims[i].ref.Obj == victims[j].ref.Obj && victims[i].ref.Index < victims[j].ref.Index)
 	})
 	below := t - 1
+	for below > 0 && r.quarantinedTier(below) {
+		below-- // evictions skip quarantined tiers on the way down
+	}
 	for _, v := range victims {
 		if free >= size {
 			return

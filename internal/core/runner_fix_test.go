@@ -171,7 +171,7 @@ func TestFailedPromotionTraced(t *testing.T) {
 	if s := tr.MigrationStats(); s.Count != 1 || s.Failed != 1 || s.BytesMoved != 5*mem.MB {
 		t.Fatalf("trace stats = %+v", s)
 	}
-	if s := r.mig.Stats(); s.Migrations != 1 || s.Failed != 1 {
+	if s := r.mig.Stats(); s.Migrations != 1 || s.Failed() != 1 {
 		t.Fatalf("engine stats = %+v", s)
 	}
 }

@@ -57,7 +57,7 @@ func TestTieredTwoTierBitIdentical(t *testing.T) {
 			}
 			if ra.Migration.Migrations != rb.Migration.Migrations ||
 				ra.Migration.BytesMoved != rb.Migration.BytesMoved ||
-				ra.Migration.Failed != rb.Migration.Failed {
+				ra.Migration.Failed() != rb.Migration.Failed() {
 				t.Errorf("seed %d %v: migration counts differ: %+v vs %+v",
 					seed, pol, ra.Migration, rb.Migration)
 			}

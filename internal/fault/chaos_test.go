@@ -1,0 +1,157 @@
+// Chaos property test: many seeded (schedule x workload x policy x
+// machine) combinations, asserting the runtime's resilience contract on
+// every one — the run completes, migration accounting balances against
+// the trace, quarantines pair with readmits, and a sample of runs
+// executes and verifies the real numerical kernels under injected
+// faults. Lives in package fault_test so it can drive internal/core.
+package fault_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func TestChaos(t *testing.T) {
+	workloadNames := []string{"heat", "cg", "cholesky", "wave"}
+	policies := []core.Policy{core.Tahoe, core.PhaseBased, core.FirstTouch, core.XMem, core.HWCache}
+	rates := []float64{2, 6, 12}
+	const combos = 50
+
+	for i := 0; i < combos; i++ {
+		i := i
+		wl := workloadNames[i%len(workloadNames)]
+		pol := policies[(i/len(workloadNames))%len(policies)]
+		rate := rates[i%len(rates)]
+		tiered := i%5 == 4
+		kernels := i%10 == 3
+		t.Run(fmt.Sprintf("%02d-%s-%s-r%g", i, wl, pol, rate), func(t *testing.T) {
+			s, err := workloads.ByName(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			built := s.Build(workloads.Params{Scale: 6, Kernels: kernels})
+			var h mem.HMS
+			tiers := 2
+			if tiered {
+				h = mem.DRAMCXLNVM(48*mem.MB, 32*mem.MB)
+				tiers = 3
+			} else {
+				h = mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 64*mem.MB)
+			}
+			sched := fault.Random(int64(1000+i), rate, 0.6, tiers)
+			tr := &trace.Trace{}
+			cfg := core.DefaultConfig(h)
+			cfg.Policy = pol
+			cfg.Faults = sched
+			cfg.Trace = tr
+			cfg.RunKernels = kernels
+
+			// Completion is itself a property: core.Run fails the run if any
+			// chunk is still queued or busy after quiescence, or if the heap
+			// invariants broke.
+			res, err := core.Run(built.Graph, cfg)
+			if err != nil {
+				t.Fatalf("run did not survive the schedule: %v", err)
+			}
+			if res.Time <= 0 {
+				t.Fatalf("non-positive makespan %g", res.Time)
+			}
+			if kernels {
+				if built.Check == nil {
+					t.Fatal("no kernel check attached")
+				}
+				if err := built.Check(); err != nil {
+					t.Fatalf("kernel verification failed under faults: %v", err)
+				}
+			}
+
+			// Migration accounting must balance against the trace: every
+			// started copy ends exactly once, drops add lone ends, successful
+			// ends equal the migration count, and the resilience events match
+			// the stats the run reports.
+			var starts, ends, endsOK, retries, abandons, quar, readmit, injected int
+			for _, ev := range tr.Events {
+				switch ev.Kind {
+				case trace.MigrationStart:
+					starts++
+				case trace.MigrationEnd:
+					ends++
+					if ev.OK {
+						endsOK++
+					}
+				case trace.MigrationRetry:
+					if ev.OK {
+						retries++
+					} else {
+						abandons++
+					}
+				case trace.TierQuarantine:
+					quar++
+				case trace.TierReadmit:
+					readmit++
+				case trace.FaultInject:
+					if ev.OK {
+						injected++
+					}
+				}
+			}
+			st := res.Migration
+			if ends != starts+st.Dropped {
+				t.Errorf("trace imbalance: %d starts + %d drops != %d ends", starts, st.Dropped, ends)
+			}
+			if endsOK != st.Migrations {
+				t.Errorf("successful ends %d != migrations %d", endsOK, st.Migrations)
+			}
+			if retries != st.Retries {
+				t.Errorf("trace retries %d != stats %d", retries, st.Retries)
+			}
+			if abandons != st.Abandoned {
+				t.Errorf("trace abandons %d != stats %d", abandons, st.Abandoned)
+			}
+			if quar != res.Quarantines {
+				t.Errorf("trace quarantines %d != result %d", quar, res.Quarantines)
+			}
+			if readmit > quar {
+				t.Errorf("%d readmits for %d quarantines", readmit, quar)
+			}
+			if injected != res.FaultEvents {
+				t.Errorf("trace activations %d != FaultEvents %d", injected, res.FaultEvents)
+			}
+			if st.Retries < 0 || st.Abandoned < 0 || st.Dropped < 0 || st.MoveFailed < 0 {
+				t.Errorf("negative resilience stats: %+v", st)
+			}
+			if f := st.OverlapFraction(); f < 0 || f > 1 {
+				t.Errorf("overlap fraction %g out of [0,1]", f)
+			}
+		})
+	}
+}
+
+// TestChaosZeroRateMatchesNil spot-checks inside the chaos grid what the
+// core bit-identity test proves exhaustively: a generated schedule with
+// no events behaves exactly like no schedule.
+func TestChaosZeroRateMatchesNil(t *testing.T) {
+	s, err := workloads.ByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 64*mem.MB)
+	run := func(f *fault.Schedule) core.Result {
+		cfg := core.DefaultConfig(h)
+		cfg.Faults = f
+		res, err := core.Run(s.Build(workloads.Params{Scale: 6}).Graph, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(nil), run(fault.Random(1, 0, 1, 2)); a != b {
+		t.Fatalf("zero-rate schedule diverged:\nnil  %+v\nzero %+v", a, b)
+	}
+}

@@ -66,6 +66,22 @@ func (d DeviceSpec) Validate() error {
 func (d DeviceSpec) ReadLatSec() float64  { return d.ReadLatNS * 1e-9 }
 func (d DeviceSpec) WriteLatSec() float64 { return d.WriteLatNS * 1e-9 }
 
+// Derate returns a copy of d slowed by factor f >= 1: bandwidths divided
+// by f, latencies multiplied by f. Energy coefficients are unchanged (a
+// throttled device still moves the same bytes). Fault injection uses it
+// to build the degraded device view a sagging tier presents to the
+// demand model; Derate(1) returns d exactly.
+func (d DeviceSpec) Derate(f float64) DeviceSpec {
+	if f == 1 {
+		return d
+	}
+	d.ReadBW /= f
+	d.WriteBW /= f
+	d.ReadLatNS *= f
+	d.WriteLatNS *= f
+	return d
+}
+
 // ScaleBW returns a copy of d with both bandwidths multiplied by f.
 // ScaleBW(d, 0.5) models "1/2 DRAM bandwidth" NVM configurations.
 func ScaleBW(d DeviceSpec, f float64, name string) DeviceSpec {

@@ -20,6 +20,7 @@
 package migrate
 
 import (
+	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -38,6 +39,10 @@ type Request struct {
 	// tier had no room, in which case the data stays put and the program
 	// remains correct, just slower).
 	Done func(now float64, ok bool)
+
+	// attempt counts completed copy attempts that failed transiently;
+	// the engine re-enqueues the request until MaxRetries is exhausted.
+	attempt int
 }
 
 // Stats aggregates the migration activity of one run — the numbers behind
@@ -45,7 +50,19 @@ type Request struct {
 // how much copy time, and how much of it the runtime failed to hide.
 type Stats struct {
 	Migrations int
-	Failed     int
+	// Dropped counts requests abandoned before their copy started: no
+	// room at the target tier at dequeue time, no channel time consumed.
+	Dropped int
+	// MoveFailed counts copies that consumed their channel time but whose
+	// completion found no room (heap.State.Move failed).
+	MoveFailed int
+	// Retries counts copy attempts re-queued after an injected transient
+	// failure (always 0 without fault injection).
+	Retries int
+	// Abandoned counts requests given up mid-resilience: retry budget
+	// exhausted or per-copy timeout on a stalled copy (always 0 without
+	// fault injection).
+	Abandoned  int
 	BytesMoved int64
 	// CopySec is total helper-thread copy time.
 	CopySec float64
@@ -53,6 +70,10 @@ type Stats struct {
 	// migrations (charged by the runtime via AddExposed).
 	ExposedSec float64
 }
+
+// Failed is the total number of requests that did not move their chunk:
+// pre-copy drops plus post-copy Move failures plus abandonments.
+func (s Stats) Failed() int { return s.Dropped + s.MoveFailed + s.Abandoned }
 
 // OverlapFraction is the share of copy time hidden under execution.
 func (s Stats) OverlapFraction() float64 {
@@ -76,6 +97,18 @@ type Observer interface {
 	CopyDropped(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64)
 }
 
+// FaultObserver optionally extends Observer with resilience lifecycle
+// events; the engine feeds it only when an Observer also implements this
+// interface, so existing observers keep working unchanged. CopyRetried
+// fires when a transiently failed copy is re-queued (after its
+// CopyFinished(ok=false)); CopyAbandoned fires when a request is given
+// up — retry budget exhausted or a stalled copy hitting its timeout.
+type FaultObserver interface {
+	Observer
+	CopyRetried(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64, attempt int)
+	CopyAbandoned(now float64, ref heap.ChunkRef, to mem.Tier, bytes int64)
+}
+
 // Engine is the helper thread. It is driven entirely by the simulation
 // engine: Enqueue may be called from any simulation callback.
 type Engine struct {
@@ -87,23 +120,56 @@ type Engine struct {
 	// Observer, if non-nil, is notified of every copy's start and end.
 	Observer Observer
 
+	// Faults, if non-nil, injects transient copy failures and copy-engine
+	// stalls, and the engine answers with the resilience machinery below.
+	// With Faults nil every fault path is skipped outright and behavior is
+	// bit-identical to an engine built before fault injection existed.
+	Faults *fault.Injector
+	// MaxRetries bounds how many times one request is re-queued after a
+	// transient failure before being abandoned.
+	MaxRetries int
+	// BackoffBaseSec and BackoffMaxSec shape the capped exponential
+	// backoff (virtual time) between retry attempts.
+	BackoffBaseSec float64
+	BackoffMaxSec  float64
+	// TimeoutFactor abandons a copy still in flight after TimeoutFactor
+	// times its nominal (uninflated) duration: a stalled copy is given up
+	// rather than blocking the chunk forever. 0 disables the timeout.
+	TimeoutFactor float64
+
 	queue   []Request
 	busy    bool
 	current heap.ChunkRef         // chunk being copied when busy
 	pending map[heap.ChunkRef]int // queued or in-flight requests per chunk
 
+	copySeq      uint64 // id of the current copy, for timeout matching
+	curAbandoned bool   // current copy already settled by its timeout
+
 	stats Stats
 }
+
+// Default resilience tuning, applied by New; all of it is inert until
+// Faults is set.
+const (
+	DefaultMaxRetries     = 4
+	DefaultBackoffBaseSec = 1e-3
+	DefaultBackoffMaxSec  = 16e-3
+	DefaultTimeoutFactor  = 4
+)
 
 // New returns a migration engine copying at h.CopyBW over the given
 // placement state.
 func New(e *sim.Engine, state *heap.State, h mem.HMS) *Engine {
 	return &Engine{
-		sim:     e,
-		copyRes: e.AddResource("copy", h.CopyBW),
-		state:   state,
-		hms:     h,
-		pending: make(map[heap.ChunkRef]int),
+		sim:            e,
+		copyRes:        e.AddResource("copy", h.CopyBW),
+		state:          state,
+		hms:            h,
+		pending:        make(map[heap.ChunkRef]int),
+		MaxRetries:     DefaultMaxRetries,
+		BackoffBaseSec: DefaultBackoffBaseSec,
+		BackoffMaxSec:  DefaultBackoffMaxSec,
+		TimeoutFactor:  DefaultTimeoutFactor,
 	}
 }
 
@@ -172,6 +238,10 @@ func (m *Engine) BusyObject(obj task.ObjectID) bool {
 // QueueLen returns the number of waiting requests (excluding in-flight).
 func (m *Engine) QueueLen() int { return len(m.queue) }
 
+// PendingCount returns how many chunks currently report Busy (queued or
+// in-flight requests not yet settled). Zero at quiescence.
+func (m *Engine) PendingCount() int { return len(m.pending) }
+
 // AddExposed charges task wait time against the overlap accounting.
 func (m *Engine) AddExposed(sec float64) { m.stats.ExposedSec += sec }
 
@@ -217,7 +287,7 @@ func (m *Engine) kick() {
 			// No room at the target tier: drop the movement. The data stays
 			// readable where it is. (On the two-tier machine only promotions
 			// can fail this way — the NVM tier is effectively unbounded.)
-			m.stats.Failed++
+			m.stats.Dropped++
 			if m.Observer != nil {
 				m.Observer.CopyDropped(m.sim.Now(), r.Ref, r.To, m.state.ChunkSize(r.Ref))
 			}
@@ -227,6 +297,9 @@ func (m *Engine) kick() {
 
 		m.busy = true
 		m.current = r.Ref
+		m.copySeq++
+		m.curAbandoned = false
+		from := m.state.Tier(r.Ref)
 		size := m.state.ChunkSize(r.Ref)
 		// The copy resource runs at the configured promotion-path bandwidth
 		// (h.CopyBW). On machines with more than two tiers, each pair has
@@ -235,7 +308,22 @@ func (m *Engine) kick() {
 		// time. Two-tier machines keep the exact legacy charge.
 		bytes := float64(size)
 		if m.hms.NumTiers() > 2 {
-			bytes = float64(size) * m.hms.CopyBW / m.hms.CopyBWBetween(m.state.Tier(r.Ref), r.To)
+			bytes = float64(size) * m.hms.CopyBW / m.hms.CopyBWBetween(from, r.To)
+		}
+		if m.Faults != nil {
+			// A live copy-engine stall inflates the service bytes; the
+			// nominal duration below deliberately excludes the inflation so
+			// a badly stalled copy trips its timeout.
+			if inf := m.Faults.CopyInflation(from, r.To); inf != 1 {
+				bytes *= inf
+			}
+			if m.TimeoutFactor > 0 {
+				seq := m.copySeq
+				nominal := float64(size) / m.hms.CopyBWBetween(from, r.To)
+				m.sim.AfterDaemon(m.TimeoutFactor*nominal, func(now float64) {
+					m.abandonStalled(now, seq, r, size)
+				})
+			}
 		}
 		if m.Observer != nil {
 			m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
@@ -244,28 +332,90 @@ func (m *Engine) kick() {
 			Label:  "migrate:" + r.Ref.String(),
 			Stages: []sim.Stage{{Res: m.copyRes, Bytes: bytes}},
 			OnDone: func(now float64) {
-				err := m.state.Move(r.Ref, r.To)
-				ok := err == nil
-				if ok {
-					m.stats.Migrations++
-					m.stats.BytesMoved += size
-				} else {
-					m.stats.Failed++
-				}
-				m.stats.CopySec += bytes / m.copyRes.Bandwidth()
-				if m.Observer != nil {
-					m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
-				}
-				m.pending[r.Ref]--
-				if m.pending[r.Ref] == 0 {
-					delete(m.pending, r.Ref)
-				}
-				m.busy = false
-				if r.Done != nil {
-					r.Done(now, ok)
-				}
-				m.kick()
+				m.finishCopy(now, r, from, size, bytes)
 			},
 		})
 	}
+}
+
+// finishCopy runs when the current copy's flow drains its channel time.
+func (m *Engine) finishCopy(now float64, r Request, from mem.Tier, size int64, bytes float64) {
+	m.busy = false
+	if m.curAbandoned {
+		// The per-copy timeout already settled this request: the channel
+		// just drained, the data never moved. Account the burned channel
+		// time and move on.
+		m.stats.CopySec += bytes / m.copyRes.Bandwidth()
+		if m.Observer != nil {
+			m.Observer.CopyFinished(now, r.Ref, r.To, size, false)
+		}
+		m.kick()
+		return
+	}
+	if m.Faults != nil && m.Faults.CopyFails(from, r.To) {
+		m.stats.CopySec += bytes / m.copyRes.Bandwidth()
+		if m.Observer != nil {
+			m.Observer.CopyFinished(now, r.Ref, r.To, size, false)
+		}
+		m.Faults.RecordFault(now, from, r.To)
+		if r.attempt < m.MaxRetries {
+			r.attempt++
+			m.stats.Retries++
+			if fo, ok := m.Observer.(FaultObserver); ok {
+				fo.CopyRetried(now, r.Ref, r.To, size, r.attempt)
+			}
+			// Re-queue after capped exponential backoff. The pending count
+			// is still held, so the chunk stays Busy across the backoff.
+			d := m.BackoffBaseSec * float64(int64(1)<<uint(r.attempt-1))
+			if d > m.BackoffMaxSec {
+				d = m.BackoffMaxSec
+			}
+			m.sim.After(d, func(float64) {
+				m.queue = append(m.queue, r)
+				m.kick()
+			})
+		} else {
+			m.stats.Abandoned++
+			if fo, ok := m.Observer.(FaultObserver); ok {
+				fo.CopyAbandoned(now, r.Ref, r.To, size)
+			}
+			m.settle(r, false)
+		}
+		m.kick()
+		return
+	}
+	err := m.state.Move(r.Ref, r.To)
+	ok := err == nil
+	if ok {
+		m.stats.Migrations++
+		m.stats.BytesMoved += size
+	} else {
+		m.stats.MoveFailed++
+	}
+	m.stats.CopySec += bytes / m.copyRes.Bandwidth()
+	if m.Observer != nil {
+		m.Observer.CopyFinished(now, r.Ref, r.To, size, ok)
+	}
+	m.settle(r, ok)
+	m.kick()
+}
+
+// abandonStalled is the per-copy timeout: if copy seq is still in flight,
+// give it up — settle the request (so the chunk stops reporting Busy and
+// the runtime routes around it) and let the stalled flow drain the
+// channel in the background. The daemon timer is a no-op when the copy
+// completed first.
+func (m *Engine) abandonStalled(now float64, seq uint64, r Request, size int64) {
+	if !m.busy || m.copySeq != seq || m.curAbandoned {
+		return
+	}
+	m.curAbandoned = true
+	m.stats.Abandoned++
+	if fo, ok := m.Observer.(FaultObserver); ok {
+		fo.CopyAbandoned(now, r.Ref, r.To, size)
+	}
+	if m.Faults != nil {
+		m.Faults.RecordFault(now, m.state.Tier(r.Ref), r.To)
+	}
+	m.settle(r, false)
 }

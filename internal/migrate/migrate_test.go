@@ -52,7 +52,7 @@ func TestPromotionMovesChunkAndTakesCopyTime(t *testing.T) {
 		t.Fatal("chunk busy after completion")
 	}
 	s := m.Stats()
-	if s.Migrations != 1 || s.BytesMoved != 100*mem.MB || s.Failed != 0 {
+	if s.Migrations != 1 || s.BytesMoved != 100*mem.MB || s.Failed() != 0 {
 		t.Fatalf("stats = %+v", s)
 	}
 	if math.Abs(s.CopySec-want) > 1e-9 {
@@ -110,7 +110,7 @@ func TestFailedPromotionWhenDRAMFull(t *testing.T) {
 		t.Fatal("chunk moved despite failure")
 	}
 	s := m.Stats()
-	if s.Failed != 1 || s.Migrations != 0 || s.BytesMoved != 0 {
+	if s.Failed() != 1 || s.Migrations != 0 || s.BytesMoved != 0 {
 		t.Fatalf("stats = %+v", s)
 	}
 }
@@ -129,7 +129,7 @@ func TestEvictThenPromote(t *testing.T) {
 		t.Fatalf("final tiers: A=%v B=%v", st.Tier(refA), st.Tier(refB))
 	}
 	s := m.Stats()
-	if s.Migrations != 3 || s.Failed != 0 {
+	if s.Migrations != 3 || s.Failed() != 0 {
 		t.Fatalf("stats = %+v", s)
 	}
 }
@@ -201,7 +201,7 @@ func TestNoRoomDropDoesNotClaimChannel(t *testing.T) {
 	if obs.dropped != 1 || obs.started != 0 || obs.finished != 0 {
 		t.Fatalf("observer = %+v, want exactly one drop and no copy", obs)
 	}
-	if s := m.Stats(); s.Failed != 1 || s.Migrations != 0 {
+	if s := m.Stats(); s.Failed() != 1 || s.Migrations != 0 {
 		t.Fatalf("stats = %+v", s)
 	}
 }
@@ -239,7 +239,7 @@ func TestMootRequestDoesNotClaimChannel(t *testing.T) {
 	if !probed {
 		t.Fatal("probe never ran")
 	}
-	if s := m.Stats(); s.Migrations != 2 || s.Failed != 0 {
+	if s := m.Stats(); s.Migrations != 2 || s.Failed() != 0 {
 		t.Fatalf("stats = %+v", s)
 	}
 }

@@ -27,6 +27,11 @@ type TierItem struct {
 // tier — but for N=2 it degenerates to exactly one Knapsack call over
 // Weight[1], the legacy two-tier solve.
 //
+// A tier with caps[t] <= 0 is closed — zero capacity, or quarantined by
+// the runtime after a fault burst — and its stage is skipped outright, so
+// no item is ever assigned there (identical to a cap-0 knapsack, minus
+// the solver call).
+//
 // Returns the chosen tier per item, aligned with items.
 func AssignTiers(s *Solver, items []TierItem, caps []int64, gran int64) []int {
 	nt := len(caps)
@@ -42,6 +47,9 @@ func AssignTiers(s *Solver, items []TierItem, caps []int64, gran int64) []int {
 	}
 	stage := make([]Item, 0, len(items))
 	for t := nt - 1; t >= 1 && len(remaining) > 0; t-- {
+		if caps[t] <= 0 {
+			continue // closed tier: nothing places here
+		}
 		stage = stage[:0]
 		for _, ix := range remaining {
 			it := items[ix]

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -35,6 +36,10 @@ type Meta struct {
 	Policy   string
 	Workers  int
 	Tasks    int
+	// Faults is the fault schedule's spec string ("" for a fault-free
+	// run). Replay reconstructs the schedule from it, so a recorded
+	// faulty run replays under the same injected faults.
+	Faults string
 }
 
 // Recording is one recorded run: identifying metadata plus the full
@@ -62,6 +67,9 @@ func Record(g *task.Graph, cfg core.Config) (core.Result, *Recording, error) {
 			Tasks:    len(g.Tasks),
 		},
 		Trace: tr,
+	}
+	if cfg.Faults != nil {
+		rec.Meta.Faults = cfg.Faults.Spec
 	}
 	return res, rec, nil
 }
@@ -106,6 +114,13 @@ func Replay(g *task.Graph, cfg core.Config, rec *Recording) (core.Result, error)
 	if cfg.Workers == 0 {
 		cfg.Workers = rec.Meta.Workers
 	}
+	if cfg.Faults == nil && rec.Meta.Faults != "" {
+		fs, err := fault.ParseSpec(rec.Meta.Faults)
+		if err != nil {
+			return core.Result{}, fmt.Errorf("replay: recorded fault spec: %w", err)
+		}
+		cfg.Faults = fs
+	}
 	order := rec.Order()
 	cfg.NewQueue = func(workers int, started func(task.TaskID) bool) sched.Queue {
 		return sched.NewRecorded(order, started)
@@ -120,6 +135,7 @@ type metaRec struct {
 	Policy   string `json:"policy"`
 	Workers  int    `json:"workers"`
 	Tasks    int    `json:"tasks"`
+	Faults   string `json:"faults,omitempty"`
 }
 
 const metaKind = "meta"
@@ -131,6 +147,7 @@ func (rec *Recording) Save(w io.Writer) error {
 	b, err := json.Marshal(metaRec{
 		K: metaKind, Workload: rec.Meta.Workload, Policy: rec.Meta.Policy,
 		Workers: rec.Meta.Workers, Tasks: rec.Meta.Tasks,
+		Faults: rec.Meta.Faults,
 	})
 	if err != nil {
 		return err
@@ -160,7 +177,7 @@ func Load(r io.Reader) (*Recording, error) {
 		return nil, err
 	}
 	return &Recording{
-		Meta:  Meta{Workload: m.Workload, Policy: m.Policy, Workers: m.Workers, Tasks: m.Tasks},
+		Meta:  Meta{Workload: m.Workload, Policy: m.Policy, Workers: m.Workers, Tasks: m.Tasks, Faults: m.Faults},
 		Trace: tr,
 	}, nil
 }

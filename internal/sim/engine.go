@@ -143,11 +143,16 @@ type Flow struct {
 // Start returns the virtual time at which the flow started.
 func (f *Flow) Start() float64 { return f.started }
 
-// timer is a scheduled callback.
+// timer is a scheduled callback. A daemon timer never keeps the engine
+// alive: Run returns once no flows and no regular timers remain, even if
+// daemon timers are still pending (they are simply never fired). Fault
+// injection uses daemons for its window boundaries so a recovery point
+// past quiescence cannot extend the simulated makespan.
 type timer struct {
-	at  float64
-	seq int
-	fn  func(now float64)
+	at     float64
+	seq    int
+	daemon bool
+	fn     func(now float64)
 }
 
 // timerHeap is a binary min-heap ordered by (at, seq) — a strict total
@@ -307,6 +312,7 @@ type Engine struct {
 	fixed     fixedHeap   // pending fixed-stage completions
 	timers    timerHeap
 	timerSeq  int
+	nlive     int // pending non-daemon timers
 	nextID    int
 
 	// finished is the reusable per-event completion buffer.
@@ -359,6 +365,7 @@ func (e *Engine) At(t float64, fn func(now float64)) {
 		t = e.now
 	}
 	e.timerSeq++
+	e.nlive++
 	e.timers.push(timer{at: t, seq: e.timerSeq, fn: fn})
 }
 
@@ -368,6 +375,27 @@ func (e *Engine) After(d float64, fn func(now float64)) {
 		d = 0
 	}
 	e.At(e.now+d, fn)
+}
+
+// AtDaemon schedules fn like At, but as a daemon: the timer fires only if
+// the simulation is still alive (flows or regular timers pending) when its
+// time comes, and never extends the run on its own. Daemons share the
+// timer sequence counter, so same-instant ordering against regular timers
+// is deterministic.
+func (e *Engine) AtDaemon(t float64, fn func(now float64)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.timerSeq++
+	e.timers.push(timer{at: t, seq: e.timerSeq, daemon: true, fn: fn})
+}
+
+// AfterDaemon schedules fn to run d seconds from now as a daemon timer.
+func (e *Engine) AfterDaemon(d float64, fn func(now float64)) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtDaemon(e.now+d, fn)
 }
 
 // StartFlow admits a flow. Empty flows complete at the current time (their
@@ -506,8 +534,10 @@ func (e *Engine) checkConservation(r *Resource) {
 	}
 }
 
-// Run processes events until no flows are active and no timers remain.
-// It returns the final virtual time.
+// Run processes events until no flows are active and no regular timers
+// remain; pending daemon timers (AtDaemon/AfterDaemon) do not extend the
+// run and are dropped unfired at quiescence. It returns the final
+// virtual time.
 func (e *Engine) Run() float64 {
 	if e.running {
 		panic("sim: Engine.Run reentered")
@@ -523,14 +553,19 @@ func (e *Engine) Run() float64 {
 				break
 			}
 			e.timers.pop()
+			if !t.daemon {
+				e.nlive--
+			}
 			t.fn(e.now)
 		}
 
 		if e.nflows == 0 {
-			t, ok := e.timers.peek()
-			if !ok {
+			if e.nlive == 0 {
+				// Only daemon timers (if any) remain: they must not keep the
+				// simulation alive, so this is quiescence.
 				return e.now
 			}
+			t, _ := e.timers.peek()
 			e.now = t.at
 			continue
 		}

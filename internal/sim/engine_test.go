@@ -143,6 +143,36 @@ func TestTimersFireInOrder(t *testing.T) {
 	approx(t, end, 3, 1e-12, "final time")
 }
 
+func TestDaemonTimersDoNotExtendRun(t *testing.T) {
+	e := NewEngine()
+	r := e.AddResource("dev", 1e9)
+	fired := []float64{}
+	e.StartFlow(&Flow{Stages: []Stage{{Res: r, Bytes: 1e9}}}) // done at t=1
+	e.AtDaemon(0.5, func(now float64) { fired = append(fired, now) })
+	e.AtDaemon(7, func(now float64) { fired = append(fired, now) })
+	end := e.Run()
+	approx(t, end, 1, 1e-12, "daemon at t=7 must not extend the run")
+	if len(fired) != 1 || fired[0] != 0.5 {
+		t.Fatalf("daemon firings = %v, want [0.5]", fired)
+	}
+}
+
+func TestDaemonTimerKeptAliveByRegularTimer(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.AtDaemon(1, func(float64) { order = append(order, "daemon@1") })
+	e.At(2, func(float64) { order = append(order, "live@2") })
+	e.AtDaemon(3, func(float64) { order = append(order, "daemon@3") })
+	end := e.Run()
+	// The regular timer at t=2 keeps the engine alive through the daemon
+	// at t=1; the daemon at t=3 lies past quiescence and never fires.
+	want := []string{"daemon@1", "live@2"}
+	if len(order) != len(want) || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	approx(t, end, 2, 1e-12, "final time")
+}
+
 func TestCallbackSpawnsFlow(t *testing.T) {
 	e := NewEngine()
 	r := e.AddResource("dev", 1e9)

@@ -30,6 +30,17 @@ const (
 	MigrationEnd
 	// Plan marks a placement decision.
 	Plan
+	// FaultInject marks a fault-schedule boundary: OK=true when the fault
+	// goes live, OK=false at its recovery point. Label names the fault
+	// kind, To the affected tier.
+	FaultInject
+	// MigrationRetry marks a resilience decision on a transiently failed
+	// copy: OK=true re-queued for retry, OK=false abandoned.
+	MigrationRetry
+	// TierQuarantine and TierReadmit bracket a window in which the runtime
+	// stopped targeting tier To after a fault burst.
+	TierQuarantine
+	TierReadmit
 )
 
 // String names the event kind.
@@ -45,13 +56,21 @@ func (k Kind) String() string {
 		return "mig-end"
 	case Plan:
 		return "plan"
+	case FaultInject:
+		return "fault"
+	case MigrationRetry:
+		return "mig-retry"
+	case TierQuarantine:
+		return "quarantine"
+	case TierReadmit:
+		return "readmit"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // ParseKind is the inverse of Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := TaskStart; k <= Plan; k++ {
+	for k := TaskStart; k <= TierReadmit; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -363,7 +382,8 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 			Obj: int(e.Obj), Chunk: e.Chunk, Bytes: e.Bytes,
 			Fail: !e.OK, Label: e.Label,
 		}
-		if e.Kind == MigrationStart || e.Kind == MigrationEnd {
+		switch e.Kind {
+		case MigrationStart, MigrationEnd, MigrationRetry, FaultInject, TierQuarantine, TierReadmit:
 			r.To = e.To.String()
 		}
 		if err := emit(r); err != nil {

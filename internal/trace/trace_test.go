@@ -226,8 +226,11 @@ func TestReadJSONLRejectsGarbage(t *testing.T) {
 	}
 }
 
+var allKinds = []Kind{TaskStart, TaskEnd, MigrationStart, MigrationEnd, Plan,
+	FaultInject, MigrationRetry, TierQuarantine, TierReadmit}
+
 func TestParseKind(t *testing.T) {
-	for _, k := range []Kind{TaskStart, TaskEnd, MigrationStart, MigrationEnd, Plan} {
+	for _, k := range allKinds {
 		got, err := ParseKind(k.String())
 		if err != nil || got != k {
 			t.Fatalf("ParseKind(%s) = %v, %v", k, got, err)
@@ -239,9 +242,49 @@ func TestParseKind(t *testing.T) {
 }
 
 func TestKindStrings(t *testing.T) {
-	for _, k := range []Kind{TaskStart, TaskEnd, MigrationStart, MigrationEnd, Plan} {
+	for _, k := range allKinds {
 		if strings.HasPrefix(k.String(), "Kind(") {
 			t.Fatalf("missing name for %d", int(k))
+		}
+	}
+}
+
+// TestJSONLRoundTripFaultKinds extends the serialization pin to the
+// fault and resilience events: inject/retry/quarantine/readmit records
+// must survive a parse and re-serialize byte-identically, tier names
+// included.
+func TestJSONLRoundTripFaultKinds(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Time: 0.5, Kind: FaultInject, Label: "degrade", To: mem.InDRAM, OK: true})
+	tr.Add(Event{Time: 0.6, Kind: MigrationRetry, Obj: 3, Chunk: 1, To: mem.InDRAM, Bytes: 1 << 20, OK: true})
+	tr.Add(Event{Time: 0.7, Kind: MigrationRetry, Obj: 3, Chunk: 1, To: mem.InDRAM, Bytes: 1 << 20})
+	tr.Add(Event{Time: 0.8, Kind: TierQuarantine, To: mem.InDRAM, OK: true})
+	tr.Add(Event{Time: 0.9, Kind: TierReadmit, To: mem.InDRAM, OK: true})
+	tr.Add(Event{Time: 1.0, Kind: FaultInject, Label: "degrade", To: mem.InDRAM})
+
+	var first strings.Builder
+	if err := tr.WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadJSONL(strings.NewReader(first.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parsed, tr) {
+		t.Fatalf("parsed trace differs:\n%+v\nwant:\n%+v", parsed, tr)
+	}
+	var second strings.Builder
+	if err := parsed.WriteJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("re-serialization not byte-identical:\n%svs:\n%s", first.String(), second.String())
+	}
+	// The To tier must be serialized for every fault kind, not dropped
+	// by the migration-only gate.
+	for _, line := range strings.Split(strings.TrimSpace(first.String()), "\n") {
+		if !strings.Contains(line, `"to":`) {
+			t.Fatalf("line lost its tier: %s", line)
 		}
 	}
 }

@@ -36,6 +36,54 @@ func TestReplayFidelity(t *testing.T) {
 	}
 }
 
+// TestReplayFidelityWithFaults extends the fidelity pin to faulty runs:
+// a run under an injected fault schedule replays bit-for-bit, and the
+// schedule survives the save/load round trip through the recording's
+// metadata — the replay reconstructs it from the spec string, with no
+// schedule set on the replay config.
+func TestReplayFidelityWithFaults(t *testing.T) {
+	w, err := BuildWorkload("heat", WorkloadParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 96*MB))
+	cfg.Policy = Tahoe
+	cfg.Faults, err = ParseFaultSpec("rate=8,seed=5,horizon=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, rec, err := Record(w.Graph, cfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if orig.FaultEvents == 0 {
+		t.Fatal("schedule injected nothing; the test is vacuous")
+	}
+	if rec.Meta.Faults != cfg.Faults.Spec {
+		t.Fatalf("recording metadata lost the fault spec: %q", rec.Meta.Faults)
+	}
+	var buf strings.Builder
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRecording(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := cfg
+	replayCfg.Faults = nil // must come back from the recording
+	again, err := Replay(w.Graph, replayCfg, loaded)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
+		t.Errorf("faulty makespan diverged: %v vs %v", orig.Time, again.Time)
+	}
+	if orig != again {
+		t.Errorf("faulty replay differs:\nrecorded: %+v\nreplayed: %+v", orig, again)
+	}
+}
+
 // TestReplaySaveLoadPublicAPI exercises the re-exported persistence
 // path: a recording saved and re-loaded replays identically to the
 // in-memory one.

@@ -10,10 +10,13 @@ cd "$(dirname "$0")/.."
 benchtime="${1:-20x}"
 
 # Replay determinism smoke: record → save → load → replay must be
-# bit-identical before timing anything — on the classic two-tier machine
-# and on the three-tier DRAM+CXL+NVM machine E18 sweeps.
+# bit-identical before timing anything — on the classic two-tier machine,
+# on the three-tier DRAM+CXL+NVM machine E18 sweeps, and under an
+# injected fault schedule (the schedule rides in the recording's
+# metadata and must reproduce the faulty run exactly).
 go run ./cmd/tahoe-replay -check -workload cg
 go run ./cmd/tahoe-replay -check -workload heat -cxl 64 -dram 32
+go run ./cmd/tahoe-replay -check -workload cg -faults "rate=8,seed=7,horizon=0.3"
 
 out="$(go test -run '^$' \
   -bench 'BenchmarkSimEngineContention|BenchmarkSimEngineManyFlows|BenchmarkE4_MainComparisonBW|BenchmarkExperimentSuiteQuick|BenchmarkPlannerGlobal$|BenchmarkPlannerLocal$|BenchmarkPlannerReplan$' \

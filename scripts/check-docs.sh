@@ -1,8 +1,10 @@
 #!/bin/sh
 # check-docs.sh — docs-consistency gate. Fails if any cmd/ binary is not
-# mentioned in README.md, or any registered experiment ID (the
+# mentioned in README.md, any registered experiment ID (the
 # Experiment{"<ID>", ...} literals in the root package) is not documented
-# in EXPERIMENTS.md. Run from anywhere; operates on the repo root.
+# in EXPERIMENTS.md, or any DESIGN.md section header that other docs and
+# code comments point at has been renamed away. Run from anywhere;
+# operates on the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +30,23 @@ for id in $ids; do
   fi
 done
 
+# DESIGN.md section headers referenced from ROADMAP.md and code
+# comments; renaming one silently breaks those pointers.
+while IFS= read -r header; do
+  if ! grep -q "^## $header" DESIGN.md; then
+    echo "check-docs: DESIGN.md lost its \"$header\" section" >&2
+    bad=1
+  fi
+done <<'EOF'
+Timing model (the simulation substrate's contract)
+Tier model (N-tier generalization)
+Engine internals (the incremental-rate hot path)
+Planner internals (the incremental, allocation-light decision core)
+Replay internals (record once, vary placement)
+Fault model & degraded modes
+EOF
+
 if [ "$bad" -ne 0 ]; then
   exit 1
 fi
-echo "check-docs: every cmd/ binary and experiment ID is documented"
+echo "check-docs: every cmd/ binary, experiment ID, and DESIGN.md section is in place"

@@ -40,6 +40,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/prof"
 	"repro/internal/replay"
@@ -217,6 +218,24 @@ type (
 	// TraceEvent is one timeline entry.
 	TraceEvent = trace.Event
 )
+
+// Fault injection and resilience.
+type (
+	// FaultSchedule is a deterministic, virtual-time script of injected
+	// faults (set Config.Faults). nil reproduces the fault-free run
+	// bit-identically.
+	FaultSchedule = fault.Schedule
+	// FaultEvent is one scheduled fault.
+	FaultEvent = fault.Event
+)
+
+// ParseFaultSpec parses a fault-schedule spec string such as
+// "rate=1,seed=7,horizon=2" ("" or "none" yields a nil schedule).
+var ParseFaultSpec = fault.ParseSpec
+
+// RandomFaults generates a seeded random fault schedule with the given
+// mean event rate (events per simulated second) over a horizon.
+var RandomFaults = fault.Random
 
 // Trace-driven replay.
 type (

@@ -75,8 +75,8 @@ func TestBuildWorkloadUnknown(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("%d experiments registered, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -88,7 +88,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"T1", "T2", "E1", "E4", "E7", "E12", "E18"} {
+	for _, want := range []string{"T1", "T2", "E1", "E4", "E7", "E12", "E18", "E19"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %s", want)
 		}
