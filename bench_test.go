@@ -6,10 +6,12 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/task"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -24,6 +26,7 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		t, err := e.Run(ExpOptions{Quick: true})
 		if err != nil {
@@ -75,6 +78,7 @@ func BenchmarkRuntimeFullRun(b *testing.B) {
 // Substrate micro-benchmarks.
 
 func BenchmarkSimEngineContention(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := sim.NewEngine()
 		r := e.AddResource("dev", 1e9)
@@ -92,6 +96,7 @@ func BenchmarkSimEngineContention(b *testing.B) {
 // concurrent flows spread over several resources, caps on half of them,
 // so every completion dirties one resource while the rest stay clean.
 func BenchmarkSimEngineManyFlows(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := sim.NewEngine()
 		res := make([]*sim.Resource, 8)
@@ -113,9 +118,85 @@ func BenchmarkSimEngineManyFlows(b *testing.B) {
 // instances) through the parallel harness — the headline wall-clock
 // number for the suite.
 func BenchmarkExperimentSuiteQuick(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := RunAllExperiments(io.Discard, ExpOptions{Quick: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceRecord measures the steady-state cost of recording one
+// run's worth of trace events and dispatch records into a reused Trace —
+// the Grow/Reset path the runtime and the replay recorder use. Once the
+// buffers are sized it must report 0 allocs/op.
+func BenchmarkTraceRecord(b *testing.B) {
+	const tasks = 512
+	tr := &trace.Trace{}
+	tr.Grow(2*tasks, tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Reset()
+		for t := 0; t < tasks; t++ {
+			tr.AddDispatch(trace.Dispatch{Time: float64(t), Task: task.TaskID(t), Worker: t % 8})
+			tr.Add(trace.Event{
+				Time: float64(t), Kind: trace.TaskStart,
+				Task: task.TaskID(t), TaskKind: "k", Worker: t % 8, OK: true,
+			})
+			tr.Add(trace.Event{
+				Time: float64(t) + 0.5, Kind: trace.TaskEnd,
+				Task: task.TaskID(t), TaskKind: "k", Worker: t % 8, OK: true,
+			})
+		}
+	}
+	if tr.Len() != 2*tasks {
+		b.Fatalf("recorded %d events, want %d", tr.Len(), 2*tasks)
+	}
+}
+
+// BenchmarkChaosSuite runs a representative slice of the fault-injection
+// chaos grid — one traced run per (workload, policy, rate) combo — so
+// regressions in the resilience and trace-recording paths show up in
+// wall-clock and allocs/op terms.
+func BenchmarkChaosSuite(b *testing.B) {
+	combos := []struct {
+		wl   string
+		pol  core.Policy
+		rate float64
+		seed int64
+	}{
+		{"heat", core.Tahoe, 6, 1001},
+		{"cg", core.PhaseBased, 12, 1002},
+		{"cholesky", core.XMem, 2, 1003},
+		{"wave", core.FirstTouch, 6, 1004},
+	}
+	type prep struct {
+		g   *task.Graph
+		cfg core.Config
+	}
+	h := NewHMS(DRAM(), NVMBandwidth(0.5), 64*MB)
+	preps := make([]prep, len(combos))
+	for i, c := range combos {
+		w, err := BuildWorkload(c.wl, WorkloadParams{Scale: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := DefaultConfig(h)
+		cfg.Policy = c.pol
+		cfg.Faults = fault.Random(c.seed, c.rate, 0.6, 2)
+		preps[i] = prep{g: w.Graph, cfg: cfg}
+	}
+	tr := &trace.Trace{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range preps {
+			tr.Reset()
+			p.cfg.Trace = tr
+			if _, err := Run(p.g, p.cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -256,6 +337,7 @@ func plannerBench(b *testing.B) *core.PlannerBench {
 
 func BenchmarkPlannerGlobal(b *testing.B) {
 	pb := plannerBench(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pb.Global()
@@ -264,6 +346,7 @@ func BenchmarkPlannerGlobal(b *testing.B) {
 
 func BenchmarkPlannerLocal(b *testing.B) {
 	pb := plannerBench(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pb.Local()
@@ -272,6 +355,7 @@ func BenchmarkPlannerLocal(b *testing.B) {
 
 func BenchmarkPlannerReplan(b *testing.B) {
 	pb := plannerBench(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pb.Replan()

@@ -139,7 +139,7 @@ func modelAccuracy(g *Graph, h mem.HMS) (med, p90, worst float64, n int) {
 			// Equation (1): bandwidth consumption from the object's true
 			// occupancy within the task.
 			bwCons := 0.0
-			if occ := dNVM.ObjSec[obj]; occ > 0 {
+			if occ := dNVM.ObjSecOf(obj); occ > 0 {
 				bwCons = (loads + stores) * 64 / occ
 			}
 			pred := params.BenefitProfiled(loads, stores, bwCons)

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// This file enforces the struct-of-arrays heap layout's correctness
+// contract (see heap/state.go and heap/state_ref.go): with
+// heap.ShadowCheck enabled, every NewState and every Move is replayed
+// through the retained reference (array-of-structs) layout and all
+// observable state — free-list accounting, per-chunk tier and pieces,
+// per-object residency tables — is compared exactly; any divergence
+// fails the run. On top of that internal pin, the soup below asserts
+// the hook itself is inert: a shadow-checked run produces the same
+// Result, bit for bit, and the byte-identical trace of an unchecked
+// run, across all six policies and both tier counts.
+
+// TestHeapLayoutEquivalence runs a randomized workload soup under every
+// policy on 2-tier and 3-tier machines, once plainly and once under
+// heap.ShadowCheck, comparing Float64bits makespans, full Results, and
+// WriteJSONL trace bytes. Not parallel: ShadowCheck is a global.
+func TestHeapLayoutEquivalence(t *testing.T) {
+	defer func(prev bool) { heap.ShadowCheck = prev }(heap.ShadowCheck)
+
+	policies := []Policy{NVMOnly, FirstTouch, XMem, HWCache, PhaseBased, Tahoe}
+	run := func(name string, g *task.Graph, cfg Config, shadow bool) (Result, string) {
+		t.Helper()
+		heap.ShadowCheck = shadow
+		tr := &trace.Trace{}
+		cfg.Trace = tr
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatalf("%s shadow=%v: %v", name, shadow, err)
+		}
+		var buf strings.Builder
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.String()
+	}
+
+	scenarios := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		g := equivGraph(seed)
+		for _, tiers := range []int{2, 3} {
+			var h mem.HMS
+			if tiers == 3 {
+				h = mem.DRAMCXLNVM(24*mem.MB, 16*mem.MB)
+			} else {
+				h = mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 32*mem.MB)
+			}
+			for _, pol := range policies {
+				cfg := DefaultConfig(h)
+				cfg.Policy = pol
+				cfg.Workers = int(seed%3) + 1
+				name := fmt.Sprintf("seed%d-%dt-%s", seed, tiers, pol)
+				scenarios++
+
+				plain, plainTrace := run(name, g, cfg, false)
+				shadow, shadowTrace := run(name, g, cfg, true)
+				if math.Float64bits(plain.Time) != math.Float64bits(shadow.Time) {
+					t.Errorf("%s: makespan diverged under ShadowCheck: %v vs %v",
+						name, plain.Time, shadow.Time)
+				}
+				if plain != shadow {
+					t.Errorf("%s: Result diverged under ShadowCheck:\nplain:  %+v\nshadow: %+v",
+						name, plain, shadow)
+				}
+				if plainTrace != shadowTrace {
+					t.Errorf("%s: trace bytes diverged under ShadowCheck", name)
+				}
+			}
+		}
+	}
+	if scenarios < 40 {
+		t.Errorf("only %d scenarios, want >= 40", scenarios)
+	}
+}

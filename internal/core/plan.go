@@ -384,9 +384,9 @@ func (r *runner) benefitPerExec(kind string, obj task.ObjectID) float64 {
 func (r *runner) meanTaskSec() float64 {
 	var sum float64
 	var n int
-	for _, kind := range r.kindList {
+	for ki, kind := range r.kindList {
 		if d, ok := r.profiler.MeanDuration(kind); ok {
-			cnt := r.kindTotal[kind]
+			cnt := r.kindTotal[ki]
 			sum += d * float64(cnt)
 			n += cnt
 		}

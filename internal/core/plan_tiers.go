@@ -159,7 +159,7 @@ func (r *runner) enforceTierPlan() {
 				continue
 			}
 			ref := r.st.RefAt(ix)
-			if r.st.Tier(ref) == to || r.mig.Busy(ref) || r.promoBlock[ref] {
+			if r.st.TierAt(ix) == to || r.mig.Busy(ref) || r.promoBlock[ix] {
 				continue
 			}
 			r.tryPromoteTo(ref, to, r.plan.global, -1)

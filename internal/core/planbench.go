@@ -59,16 +59,16 @@ func (pb *PlannerBench) record(t *task.Task) {
 	for _, a := range t.Accesses {
 		share := 0.0
 		if dur > 0 {
-			share = d.ObjSec[a.Obj] / dur
+			share = d.ObjSecOf(a.Obj) / dur
 		}
 		obs = append(obs, prof.AccessObs{
 			Obj: a.Obj, Loads: a.Loads, Stores: a.Stores,
 			Size: r.g.Object(a.Obj).Size, TimeShare: share,
 		})
-		k := benefitKey{t.Kind, a.Obj}
-		if !r.pairSeen[k] {
-			r.pairSeen[k] = true
-			if r.pairRemaining[k] > 0 {
+		ix := r.pairIx(r.g.KindIndex(t.ID), a.Obj)
+		if !r.pairSeen[ix] {
+			r.pairSeen[ix] = true
+			if r.pairRemaining[ix] > 0 {
 				r.pairsNeeded--
 			}
 		}
@@ -81,11 +81,12 @@ func (pb *PlannerBench) record(t *task.Task) {
 func (pb *PlannerBench) startTask(t *task.Task) {
 	r := pb.r
 	r.started[t.ID] = true
-	r.kindRemaining[t.Kind]--
+	ki := r.g.KindIndex(t.ID)
+	r.kindRemaining[ki]--
 	for _, a := range t.Accesses {
-		k := benefitKey{t.Kind, a.Obj}
-		r.pairRemaining[k]--
-		if r.pairRemaining[k] == 0 && !r.pairSeen[k] {
+		ix := r.pairIx(ki, a.Obj)
+		r.pairRemaining[ix]--
+		if r.pairRemaining[ix] == 0 && !r.pairSeen[ix] {
 			r.pairsNeeded--
 		}
 	}

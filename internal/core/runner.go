@@ -105,15 +105,18 @@ type runner struct {
 
 	// userDone tracks, per object, a cursor into Users(obj): every user
 	// before the cursor has finished. Dependence-safe migration for task
-	// t requires the cursor to have passed all users < t.
-	userCursor map[task.ObjectID]int
+	// t requires the cursor to have passed all users < t. Objects have
+	// dense IDs, so per-object state is flat slices, not maps.
+	userCursor []int
 	// inUse counts running tasks touching each object.
-	inUse map[task.ObjectID]int
+	inUse []int
 
-	kindTotal      map[string]int
-	kindRemaining  map[string]int
-	kindSinceAudit map[string]int
-	auditDrift     map[string]int
+	// Per-kind counters, indexed by the graph's dense kind index
+	// (kindList order); the hot paths reach them via g.KindIndex.
+	kindTotal      []int
+	kindRemaining  []int
+	kindSinceAudit []int
+	auditDrift     []int
 	// kindList fixes kind iteration order (first appearance in the graph)
 	// wherever float accumulation or candidate order would otherwise
 	// depend on Go's random map order.
@@ -127,20 +130,25 @@ type runner struct {
 	// still occurring in the future has at least one profiled
 	// observation — otherwise unobserved objects would look worthless
 	// and be evicted. pairsNeeded counts unseen pairs with future uses.
-	pairRemaining map[benefitKey]int
-	pairSeen      map[benefitKey]bool
+	// Both tables are flat kind-major matrices (nk x nobj), indexed by
+	// pairIx.
+	pairRemaining []int32
+	pairSeen      []bool
 	pairsNeeded   int
 
 	plan       planResult
 	planned    bool
 	needReplan bool
 	replans    int
-	slowStreak map[string]int
+	slowStreak []int // per kind index
 	dynamicJ   float64
 	// promoBlock blacklists chunks whose promotion just failed (no room);
 	// retries wait until some task completes, preventing a same-instant
-	// retry livelock. Cleared on every completion.
-	promoBlock    map[heap.ChunkRef]bool
+	// retry livelock. Cleared on every completion. Indexed by the dense
+	// global chunk index; promoBlocked counts set entries so the common
+	// nothing-blocked case clears nothing.
+	promoBlock    []bool
+	promoBlocked  int
 	totalPairs    int
 	levelEnforced []bool
 	// pendingTier[t] is the projected byte delta of tier t from queued and
@@ -163,6 +171,16 @@ type runner struct {
 	lastPlanAt  int
 	frontierIdx int
 	dispatchQ   bool // dispatch scheduled for this instant
+
+	// obsScratch is the reusable observation buffer complete() hands the
+	// profiler (Record does not retain it).
+	obsScratch []prof.AccessObs
+
+	// flowPool recycles task-execution flows: once a flow's OnDone has
+	// fired the engine holds no reference to it, so start() can reuse the
+	// Flow, its two-stage array, and the pre-bound completion context.
+	// The pool's high-water mark is the worker count, not the task count.
+	flowPool []*taskFlow
 
 	// exposureSince, when >= 0, marks the start of an interval in which a
 	// worker sits idle with no runnable task while tasks wait on
@@ -330,6 +348,11 @@ func (r *runner) setup() error {
 	r.mig = migrate.New(r.e, st, hms)
 	if r.cfg.Trace != nil {
 		r.mig.Observer = traceObserver{r.cfg.Trace}
+		// Every task contributes a start/end pair and at least one
+		// dispatch record; pre-sizing here keeps the hot Add calls
+		// append-without-grow. Migrations and faults still extend the
+		// buffer, but only past this floor.
+		r.cfg.Trace.Grow(2*len(r.g.Tasks)+16, len(r.g.Tasks))
 	}
 	// An empty schedule arms nothing: even inert resilience timers split
 	// the fluid integration's steps differently at the last ulp, so the
@@ -359,31 +382,34 @@ func (r *runner) setup() error {
 	for _, t := range r.g.Tasks {
 		r.remaining[t.ID] = len(t.Deps())
 	}
-	r.userCursor = make(map[task.ObjectID]int)
-	r.inUse = make(map[task.ObjectID]int)
+	nobj := len(r.g.Objects)
+	r.userCursor = make([]int, nobj)
+	r.inUse = make([]int, nobj)
 	r.exposureSince = -1
 
-	r.kindTotal = make(map[string]int)
-	r.kindRemaining = make(map[string]int)
-	r.pairRemaining = make(map[benefitKey]int)
-	r.pairSeen = make(map[benefitKey]bool)
+	r.kindList = r.g.Kinds()
+	nk := len(r.kindList)
+	r.kindTotal = make([]int, nk)
+	r.kindRemaining = make([]int, nk)
+	r.pairRemaining = make([]int32, nk*nobj)
+	r.pairSeen = make([]bool, nk*nobj)
 	for _, t := range r.g.Tasks {
-		r.kindTotal[t.Kind]++
-		r.kindRemaining[t.Kind]++
+		ki := r.g.KindIndex(t.ID)
+		r.kindTotal[ki]++
+		r.kindRemaining[ki]++
 		for _, a := range t.Accesses {
-			k := benefitKey{t.Kind, a.Obj}
-			if r.pairRemaining[k] == 0 {
+			ix := r.pairIx(ki, a.Obj)
+			if r.pairRemaining[ix] == 0 {
 				r.pairsNeeded++
 			}
-			r.pairRemaining[k]++
+			r.pairRemaining[ix]++
 		}
 	}
 	r.totalPairs = r.pairsNeeded
-	r.slowStreak = make(map[string]int)
-	r.kindSinceAudit = make(map[string]int)
-	r.auditDrift = make(map[string]int)
-	r.promoBlock = make(map[heap.ChunkRef]bool)
-	r.kindList = r.g.Kinds()
+	r.slowStreak = make([]int, nk)
+	r.kindSinceAudit = make([]int, nk)
+	r.auditDrift = make([]int, nk)
+	r.promoBlock = make([]bool, r.st.TotalChunks())
 	if r.profilesKinds() {
 		r.pt = newPlannerState(r)
 	}
@@ -551,19 +577,28 @@ const (
 	auditDevThreshold = 1.0 // Record's drift score is already normalized
 )
 
+// pairIx returns the flat index of the (kind, object) pair in the
+// kind-major coverage tables.
+func (r *runner) pairIx(ki int, obj task.ObjectID) int {
+	return ki*len(r.g.Objects) + int(obj)
+}
+
 // reopenKind marks a kind's profile stale (workload variation detected):
 // its estimates and pair coverage reset and the placement is recomputed
 // once the kind is re-profiled.
-func (r *runner) reopenKind(kind string) {
+func (r *runner) reopenKind(ki int) {
+	kind := r.kindList[ki]
 	r.profiler.MarkStale(kind)
 	r.needReplan = true
 	if r.pt != nil {
 		r.pt.invalidateKindName(kind)
 	}
-	for k, seen := range r.pairSeen {
-		if seen && k.kind == kind {
-			r.pairSeen[k] = false
-			if r.pairRemaining[k] > 0 {
+	lo := r.pairIx(ki, 0)
+	for o := range r.g.Objects {
+		ix := lo + o
+		if r.pairSeen[ix] {
+			r.pairSeen[ix] = false
+			if r.pairRemaining[ix] > 0 {
 				r.pairsNeeded++
 			}
 		}
@@ -573,8 +608,9 @@ func (r *runner) reopenKind(kind string) {
 // allPairsSeen reports whether every (kind, object) pair of the task has
 // a profiled estimate.
 func (r *runner) allPairsSeen(t *task.Task) bool {
+	ki := r.g.KindIndex(t.ID)
 	for _, a := range t.Accesses {
-		if !r.pairSeen[benefitKey{t.Kind, a.Obj}] {
+		if !r.pairSeen[r.pairIx(ki, a.Obj)] {
 			return false
 		}
 	}
@@ -610,12 +646,13 @@ func (r *runner) migBusy(t *task.Task) bool {
 // start launches task t on worker w as a simulation flow.
 func (r *runner) start(now float64, w int, t *task.Task) {
 	r.started[t.ID] = true
-	r.kindRemaining[t.Kind]--
+	ki := r.g.KindIndex(t.ID)
+	r.kindRemaining[ki]--
 	for _, a := range t.Accesses {
 		r.inUse[a.Obj]++
-		k := benefitKey{t.Kind, a.Obj}
-		r.pairRemaining[k]--
-		if r.pairRemaining[k] == 0 && !r.pairSeen[k] {
+		ix := r.pairIx(ki, a.Obj)
+		r.pairRemaining[ix]--
+		if r.pairRemaining[ix] == 0 && !r.pairSeen[ix] {
 			r.pairsNeeded--
 		}
 	}
@@ -650,9 +687,9 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 	windowOpen := r.profilesKinds() && !r.profiler.Profiled(t.Kind)
 	audit := false
 	if r.profilesKinds() && !windowOpen {
-		r.kindSinceAudit[t.Kind]++
-		if r.kindSinceAudit[t.Kind] >= auditEvery {
-			r.kindSinceAudit[t.Kind] = 0
+		r.kindSinceAudit[ki]++
+		if r.kindSinceAudit[ki] >= auditEvery {
+			r.kindSinceAudit[ki] = 0
 			audit = true
 		}
 	}
@@ -693,20 +730,56 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 		})
 	}
 	load := r.cfg.Workers - len(r.freeWorkers) + 1
-	r.e.StartFlow(&sim.Flow{
-		Label: fmt.Sprintf("task:%s#%d", t.Kind, t.ID),
-		Stages: []sim.Stage{
-			{Fixed: fixed},
-			{Res: r.memRes, Bytes: memSec, MaxRate: maxRate},
-		},
-		OnDone: func(end float64) {
-			r.complete(end, now, w, t, d, load, profiling)
-		},
-	})
+	// The label is only ever read by the engine's optional trace hook;
+	// formatting it unconditionally was a per-task allocation for nothing.
+	label := ""
+	if r.e.Trace != nil {
+		label = fmt.Sprintf("task:%s#%d", t.Kind, t.ID)
+	}
+	var tf *taskFlow
+	if n := len(r.flowPool); n > 0 {
+		tf = r.flowPool[n-1]
+		r.flowPool[n-1] = nil
+		r.flowPool = r.flowPool[:n-1]
+		tf.flow.Reuse()
+	} else {
+		tf = &taskFlow{r: r}
+		tf.flow.Stages = tf.stages[:]
+		tf.flow.OnDone = tf.onDone
+	}
+	tf.t, tf.began, tf.w = t, now, w
+	tf.d, tf.load, tf.profiled = d, load, profiling
+	tf.flow.Label = label
+	tf.stages[0] = sim.Stage{Fixed: fixed}
+	tf.stages[1] = sim.Stage{Res: r.memRes, Bytes: memSec, MaxRate: maxRate}
+	r.e.StartFlow(&tf.flow)
 
 	if r.cfg.RunKernels && t.Run != nil {
 		t.Run()
 	}
+}
+
+// taskFlow bundles a task-execution flow with its stage backing array
+// and completion context in one pooled allocation. OnDone is bound once
+// at creation; onDone returns the carrier to the pool before running
+// complete(), so a task started by the ensuing redispatch can reuse it.
+type taskFlow struct {
+	r        *runner
+	flow     sim.Flow
+	stages   [2]sim.Stage
+	t        *task.Task
+	began    float64
+	w, load  int
+	d        model.Demand
+	profiled bool
+}
+
+func (tf *taskFlow) onDone(end float64) {
+	r, t, began, w, d, load, profiled := tf.r, tf.t, tf.began, tf.w, tf.d, tf.load, tf.profiled
+	tf.t = nil
+	tf.d = model.Demand{}
+	r.flowPool = append(r.flowPool, tf)
+	r.complete(end, began, w, t, d, load, profiled)
 }
 
 // machineHMS returns the device view the timing model should use: for
@@ -736,8 +809,11 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 	}
 	r.finished[t.ID] = true
 	r.completed++
-	if len(r.promoBlock) > 0 {
-		r.promoBlock = make(map[heap.ChunkRef]bool)
+	if r.promoBlocked > 0 {
+		for i := range r.promoBlock {
+			r.promoBlock[i] = false
+		}
+		r.promoBlocked = 0
 	}
 	for _, a := range t.Accesses {
 		r.inUse[a.Obj]--
@@ -745,26 +821,28 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 	r.advanceCursors(t)
 
 	dur := end - began
+	ki := r.g.KindIndex(t.ID)
 	if r.profilesKinds() {
 		if profiled {
-			obs := make([]prof.AccessObs, 0, len(t.Accesses))
+			obs := r.obsScratch[:0]
 			for _, a := range t.Accesses {
 				share := 0.0
 				if dur > 0 {
-					share = d.ObjSec[a.Obj] / dur
+					share = d.ObjSecOf(a.Obj) / dur
 				}
 				obs = append(obs, prof.AccessObs{
 					Obj: a.Obj, Loads: a.Loads, Stores: a.Stores,
 					Size: r.g.Object(a.Obj).Size, TimeShare: share,
 				})
-				k := benefitKey{t.Kind, a.Obj}
-				if !r.pairSeen[k] {
-					r.pairSeen[k] = true
-					if r.pairRemaining[k] > 0 {
+				ix := r.pairIx(ki, a.Obj)
+				if !r.pairSeen[ix] {
+					r.pairSeen[ix] = true
+					if r.pairRemaining[ix] > 0 {
 						r.pairsNeeded--
 					}
 				}
 			}
+			r.obsScratch = obs
 			dev := r.profiler.Record(prof.Exec{TaskID: t.ID, Kind: t.Kind, Duration: dur, Obs: obs})
 			if r.pt != nil {
 				// Profiled estimates are running means: every Record shifts
@@ -777,18 +855,18 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 			// behaviour changed within known pairs. Two consecutive
 			// deviating audits re-open profiling and re-plan.
 			if r.planned && dev > auditDevThreshold {
-				r.auditDrift[t.Kind]++
-				if r.auditDrift[t.Kind] >= 2 {
-					r.auditDrift[t.Kind] = 0
-					r.reopenKind(t.Kind)
+				r.auditDrift[ki]++
+				if r.auditDrift[ki] >= 2 {
+					r.auditDrift[ki] = 0
+					r.reopenKind(ki)
 				}
 			} else if dev <= auditDevThreshold {
-				r.auditDrift[t.Kind] = 0
+				r.auditDrift[ki] = 0
 			}
 		} else if r.planned && r.checkDrift(t, dur, d, load) {
 			// Duration-level drift beyond what placement and contention
 			// explain: re-open profiling and re-plan.
-			r.reopenKind(t.Kind)
+			r.reopenKind(ki)
 		}
 		r.maybePlan(end)
 	}
@@ -817,12 +895,19 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 // advanceCursors moves each touched object's user cursor past every
 // finished user, unlocking dependence-safe migrations.
 func (r *runner) advanceCursors(t *task.Task) {
-	seen := map[task.ObjectID]bool{}
-	for _, a := range t.Accesses {
-		if seen[a.Obj] {
+	// Tasks touch a handful of objects; a quadratic scan over the access
+	// prefix dedups repeats without a per-call map.
+	for i, a := range t.Accesses {
+		dup := false
+		for _, b := range t.Accesses[:i] {
+			if b.Obj == a.Obj {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[a.Obj] = true
 		users := r.g.Users(a.Obj)
 		cur := r.userCursor[a.Obj]
 		for cur < len(users) && r.finished[users[cur]] {
@@ -875,8 +960,8 @@ func (r *runner) maybePlan(now float64) {
 	// planning on a freshly wiped profile would consume the trigger and
 	// learn nothing.
 	readyToPlan := true
-	for kind, rem := range r.kindRemaining {
-		if rem > 0 && !r.profiler.Profiled(kind) {
+	for ki, rem := range r.kindRemaining {
+		if rem > 0 && !r.profiler.Profiled(r.kindList[ki]) {
 			readyToPlan = false
 			break
 		}
@@ -912,14 +997,15 @@ func (r *runner) checkDrift(t *task.Task, dur float64, d model.Demand, load int)
 		expected = d.FixedSec + latSec
 	}
 	if dur > 2.0*expected {
-		r.slowStreak[t.Kind]++
-		if r.slowStreak[t.Kind] >= prof.DriftStreak {
-			r.slowStreak[t.Kind] = 0
+		ki := r.g.KindIndex(t.ID)
+		r.slowStreak[ki]++
+		if r.slowStreak[ki] >= prof.DriftStreak {
+			r.slowStreak[ki] = 0
 			return true
 		}
 		return false
 	}
-	r.slowStreak[t.Kind] = 0
+	r.slowStreak[r.g.KindIndex(t.ID)] = 0
 	return false
 }
 
@@ -1179,7 +1265,7 @@ func (r *runner) finishPlan(now float64, cost float64) {
 func (r *runner) enforceGlobal() {
 	r.plan.global.forEach(func(ix int) {
 		ref := r.st.RefAt(ix)
-		if r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+		if r.st.TierAt(ix) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ix] {
 			r.tryPromote(ref, r.plan.global, -1)
 		}
 	})
@@ -1200,7 +1286,7 @@ func (r *runner) enforceLevel(lv int) {
 		// Promote the level's targets, demoting only as space requires.
 		target.forEach(func(ix int) {
 			ref := r.st.RefAt(ix)
-			if r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ref] {
+			if r.st.TierAt(ix) != r.fastTier && !r.mig.Busy(ref) && !r.promoBlock[ix] {
 				r.tryPromote(ref, target, -1)
 			}
 		})
@@ -1253,7 +1339,7 @@ func (r *runner) proactiveScan() {
 		for _, a := range t.Accesses {
 			base := r.st.ChunkBase(a.Obj)
 			for i, ref := range r.st.Refs(a.Obj) {
-				if !target.has(base+i) || r.st.Tier(ref) == r.fastTier || r.mig.Busy(ref) || r.promoBlock[ref] {
+				if !target.has(base+i) || r.st.TierAt(base+i) == r.fastTier || r.mig.Busy(ref) || r.promoBlock[base+i] {
 					continue
 				}
 				if !r.safeFor(a.Obj, id) {
@@ -1381,8 +1467,8 @@ func (r *runner) requestFor(t *task.Task) {
 	for _, a := range t.Accesses {
 		base := r.st.ChunkBase(a.Obj)
 		for i, ref := range r.st.Refs(a.Obj) {
-			if target.has(base+i) && r.st.Tier(ref) != r.fastTier && !r.mig.Busy(ref) &&
-				!r.promoBlock[ref] && r.safeFor(a.Obj, t.ID) {
+			if target.has(base+i) && r.st.TierAt(base+i) != r.fastTier && !r.mig.Busy(ref) &&
+				!r.promoBlock[base+i] && r.safeFor(a.Obj, t.ID) {
 				r.tryPromote(ref, target, t.ID)
 			}
 		}
@@ -1422,7 +1508,11 @@ func (r *runner) enqueueMove(ref heap.ChunkRef, to mem.Tier, forTask task.TaskID
 			r.pendingTier[to] -= size
 			r.pendingTier[from] += size
 			if !ok && to != mem.Tier(0) {
-				r.promoBlock[ref] = true
+				ix := r.st.ChunkIndex(ref)
+				if !r.promoBlock[ix] {
+					r.promoBlock[ix] = true
+					r.promoBlocked++
+				}
 			}
 			r.scheduleDispatch()
 		},

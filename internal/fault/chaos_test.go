@@ -31,6 +31,10 @@ func TestChaos(t *testing.T) {
 		tiered := i%5 == 4
 		kernels := i%10 == 3
 		t.Run(fmt.Sprintf("%02d-%s-%s-r%g", i, wl, pol, rate), func(t *testing.T) {
+			// Every combo builds its own graph, trace, and schedule from
+			// its own seed, so the grid fans out across workers; each
+			// run's simulation stays bit-identical at any -parallel count.
+			t.Parallel()
 			s, err := workloads.ByName(wl)
 			if err != nil {
 				t.Fatal(err)

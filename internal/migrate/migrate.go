@@ -139,8 +139,12 @@ type Engine struct {
 
 	queue   []Request
 	busy    bool
-	current heap.ChunkRef         // chunk being copied when busy
-	pending map[heap.ChunkRef]int // queued or in-flight requests per chunk
+	current heap.ChunkRef // chunk being copied when busy
+	// pending counts queued or in-flight requests per chunk, indexed by
+	// the dense global chunk index; pendingChunks counts chunks with a
+	// nonzero entry (what PendingCount reports).
+	pending       []int32
+	pendingChunks int
 
 	copySeq      uint64 // id of the current copy, for timeout matching
 	curAbandoned bool   // current copy already settled by its timeout
@@ -165,7 +169,7 @@ func New(e *sim.Engine, state *heap.State, h mem.HMS) *Engine {
 		copyRes:        e.AddResource("copy", h.CopyBW),
 		state:          state,
 		hms:            h,
-		pending:        make(map[heap.ChunkRef]int),
+		pending:        make([]int32, state.TotalChunks()),
 		MaxRetries:     DefaultMaxRetries,
 		BackoffBaseSec: DefaultBackoffBaseSec,
 		BackoffMaxSec:  DefaultBackoffMaxSec,
@@ -176,21 +180,25 @@ func New(e *sim.Engine, state *heap.State, h mem.HMS) *Engine {
 // Enqueue appends a movement request to the helper thread's queue.
 // Requests for chunks already at the target tier complete immediately.
 func (m *Engine) Enqueue(r Request) {
-	if m.state.Tier(r.Ref) == r.To && m.pending[r.Ref] == 0 {
+	ix := m.state.ChunkIndex(r.Ref)
+	if m.state.TierAt(ix) == r.To && m.pending[ix] == 0 {
 		if r.Done != nil {
 			done := r.Done
 			m.sim.After(0, func(now float64) { done(now, true) })
 		}
 		return
 	}
-	m.pending[r.Ref]++
+	if m.pending[ix] == 0 {
+		m.pendingChunks++
+	}
+	m.pending[ix]++
 	m.queue = append(m.queue, r)
 	m.kick()
 }
 
 // Busy reports whether the chunk has a queued or in-flight movement; the
 // runtime must not dispatch a task touching a busy chunk.
-func (m *Engine) Busy(ref heap.ChunkRef) bool { return m.pending[ref] > 0 }
+func (m *Engine) Busy(ref heap.ChunkRef) bool { return m.pending[m.state.ChunkIndex(ref)] > 0 }
 
 // InFlight reports whether the chunk's bytes are being copied right now
 // (as opposed to merely waiting in the queue).
@@ -213,9 +221,10 @@ func (m *Engine) CancelQueued(ref heap.ChunkRef, except task.TaskID) int {
 	}
 	m.queue = kept
 	for _, r := range cancelled {
-		m.pending[r.Ref]--
-		if m.pending[r.Ref] == 0 {
-			delete(m.pending, r.Ref)
+		ix := m.state.ChunkIndex(r.Ref)
+		m.pending[ix]--
+		if m.pending[ix] == 0 {
+			m.pendingChunks--
 		}
 		if r.Done != nil {
 			done := r.Done
@@ -225,10 +234,12 @@ func (m *Engine) CancelQueued(ref heap.ChunkRef, except task.TaskID) int {
 	return len(cancelled)
 }
 
-// BusyObject reports whether any chunk of the object is busy.
+// BusyObject reports whether any chunk of the object is busy: one
+// contiguous scan of the object's pending counters.
 func (m *Engine) BusyObject(obj task.ObjectID) bool {
-	for i := 0; i < m.state.Chunks(obj); i++ {
-		if m.Busy(heap.ChunkRef{Obj: obj, Index: i}) {
+	base := m.state.ChunkBase(obj)
+	for _, p := range m.pending[base : base+m.state.Chunks(obj)] {
+		if p > 0 {
 			return true
 		}
 	}
@@ -240,7 +251,7 @@ func (m *Engine) QueueLen() int { return len(m.queue) }
 
 // PendingCount returns how many chunks currently report Busy (queued or
 // in-flight requests not yet settled). Zero at quiescence.
-func (m *Engine) PendingCount() int { return len(m.pending) }
+func (m *Engine) PendingCount() int { return m.pendingChunks }
 
 // AddExposed charges task wait time against the overlap accounting.
 func (m *Engine) AddExposed(sec float64) { m.stats.ExposedSec += sec }
@@ -256,9 +267,10 @@ func (m *Engine) CopyBusySec() float64 { return m.copyRes.BusySec() }
 // the moment it is dequeued, exactly as CancelQueued does — while the
 // Done callback fires at a zero-delay event like every other completion.
 func (m *Engine) settle(r Request, ok bool) {
-	m.pending[r.Ref]--
-	if m.pending[r.Ref] == 0 {
-		delete(m.pending, r.Ref)
+	ix := m.state.ChunkIndex(r.Ref)
+	m.pending[ix]--
+	if m.pending[ix] == 0 {
+		m.pendingChunks--
 	}
 	if r.Done != nil {
 		done := r.Done
@@ -328,8 +340,14 @@ func (m *Engine) kick() {
 		if m.Observer != nil {
 			m.Observer.CopyStarted(m.sim.Now(), r.Ref, r.To, size)
 		}
+		// The label only feeds the engine's optional trace hook; skip the
+		// formatting allocation when nothing listens.
+		label := ""
+		if m.sim.Trace != nil {
+			label = "migrate:" + r.Ref.String()
+		}
 		m.sim.StartFlow(&sim.Flow{
-			Label:  "migrate:" + r.Ref.String(),
+			Label:  label,
 			Stages: []sim.Stage{{Res: m.copyRes, Bytes: bytes}},
 			OnDone: func(now float64) {
 				m.finishCopy(now, r, from, size, bytes)

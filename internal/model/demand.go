@@ -51,12 +51,18 @@ func AccessTime(loads, stores float64, mlp float64, d mem.DeviceSpec) (lat, bw f
 	return lat, bw
 }
 
+// ObjSec is one object's share of a task's memory time.
+type ObjSec struct {
+	Obj task.ObjectID
+	Sec float64
+}
+
 // Demand is a task's ground-truth resource demand under a placement.
 // Bandwidth demand is expressed in service seconds at the device's peak
 // (the simulation's device resources run at unit rate), so one second of
 // DevSec occupies the whole device for one second. Per-tier accumulators
 // are fixed mem.MaxTiers arrays (unused tiers stay zero) so the hot path
-// allocates nothing beyond the ObjSec map.
+// allocates nothing beyond the ObjSecs list.
 type Demand struct {
 	// FixedSec is pure CPU time; it does not touch memory devices.
 	FixedSec float64
@@ -65,19 +71,43 @@ type Demand struct {
 	// LatSec[tier] is the latency floor of the task's accesses on each
 	// device: its device stage cannot finish faster than this.
 	LatSec [mem.MaxTiers]float64
-	// ObjSec[obj] is the per-object memory time (the larger of floor and
-	// zero-contention bandwidth time); the profiler's time-share
-	// observations derive from it.
-	ObjSec map[task.ObjectID]float64
+	// ObjSecs holds the per-object memory time (the larger of floor and
+	// zero-contention bandwidth time) in first-access order; the
+	// profiler's time-share observations derive from it. Tasks touch a
+	// handful of objects, so a flat association list in one allocation
+	// beats a map — read it with ObjSecOf.
+	ObjSecs []ObjSec
 
 	// BytesRead[tier] and BytesWritten[tier] are the task's traffic per
 	// device, for energy accounting.
 	BytesRead    [mem.MaxTiers]float64
 	BytesWritten [mem.MaxTiers]float64
 
-	// memSec accumulates the ObjSec total in access order, so MemSec is
-	// deterministic (map iteration order is not).
+	// memSec accumulates the ObjSecs total in access order, so MemSec is
+	// deterministic.
 	memSec float64
+}
+
+// ObjSecOf returns the object's memory time, zero if the task never
+// touches it.
+func (d Demand) ObjSecOf(obj task.ObjectID) float64 {
+	for _, e := range d.ObjSecs {
+		if e.Obj == obj {
+			return e.Sec
+		}
+	}
+	return 0
+}
+
+// addObjSec accumulates memory time against an object.
+func (d *Demand) addObjSec(obj task.ObjectID, sec float64) {
+	for i := range d.ObjSecs {
+		if d.ObjSecs[i].Obj == obj {
+			d.ObjSecs[i].Sec += sec
+			return
+		}
+	}
+	d.ObjSecs = append(d.ObjSecs, ObjSec{Obj: obj, Sec: sec})
 }
 
 // MemSec returns the total zero-contention memory time: per object, the
@@ -132,7 +162,7 @@ func (d Demand) StageRate(tier mem.Tier) float64 {
 // bytes resident in DRAM; traffic splits proportionally (uniform-access
 // assumption over the object, refined only by chunking).
 func TaskDemand(t *task.Task, h mem.HMS, dramFrac func(task.ObjectID) float64) Demand {
-	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d := Demand{ObjSecs: make([]ObjSec, 0, len(t.Accesses))}
 	d.FixedSec = t.CPUSec
 	for _, a := range t.Accesses {
 		f := dramFrac(a.Obj)
@@ -158,7 +188,7 @@ func TaskDemand(t *task.Task, h mem.HMS, dramFrac func(task.ObjectID) float64) D
 				objTime += bw
 			}
 		}
-		d.ObjSec[a.Obj] += objTime
+		d.addObjSec(a.Obj, objTime)
 		d.memSec += objTime
 	}
 	return d
@@ -170,7 +200,7 @@ func TaskDemand(t *task.Task, h mem.HMS, dramFrac func(task.ObjectID) float64) D
 // tier holding a share. Tiers are visited fastest to slowest, matching
 // TaskDemand's DRAM-then-NVM order on the two-tier machine.
 func TaskDemandTiered(t *task.Task, h mem.HMS, tierFrac func(task.ObjectID, mem.Tier) float64) Demand {
-	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d := Demand{ObjSecs: make([]ObjSec, 0, len(t.Accesses))}
 	d.FixedSec = t.CPUSec
 	nt := h.NumTiers()
 	for _, a := range t.Accesses {
@@ -194,7 +224,7 @@ func TaskDemandTiered(t *task.Task, h mem.HMS, tierFrac func(task.ObjectID, mem.
 				objTime += bw
 			}
 		}
-		d.ObjSec[a.Obj] += objTime
+		d.addObjSec(a.Obj, objTime)
 		d.memSec += objTime
 	}
 	return d

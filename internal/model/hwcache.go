@@ -24,7 +24,7 @@ func HWCacheDemand(t *task.Task, h mem.HMS, hit float64) Demand {
 	if hit > 1 {
 		hit = 1
 	}
-	d := Demand{ObjSec: make(map[task.ObjectID]float64, len(t.Accesses))}
+	d := Demand{ObjSecs: make([]ObjSec, 0, len(t.Accesses))}
 	d.FixedSec = t.CPUSec
 	// The cache pair is the fastest tier in front of the slowest; middle
 	// tiers of an N-tier machine are not part of Memory Mode.
@@ -62,7 +62,7 @@ func HWCacheDemand(t *task.Task, h mem.HMS, hit float64) Demand {
 		if latD+latN > objTime {
 			objTime = latD + latN
 		}
-		d.ObjSec[a.Obj] += objTime
+		d.addObjSec(a.Obj, objTime)
 		d.memSec += objTime
 	}
 	return d

@@ -144,10 +144,10 @@ func TestTaskDemandObjSecAccounting(t *testing.T) {
 		},
 	}
 	d := TaskDemand(tk, h, func(task.ObjectID) float64 { return 0 })
-	if len(d.ObjSec) != 2 {
-		t.Fatalf("ObjSec entries = %d", len(d.ObjSec))
+	if len(d.ObjSecs) != 2 {
+		t.Fatalf("ObjSec entries = %d", len(d.ObjSecs))
 	}
-	sum := d.ObjSec[0] + d.ObjSec[1]
+	sum := d.ObjSecOf(0) + d.ObjSecOf(1)
 	if math.Abs(sum-d.MemSec()) > 1e-12 {
 		t.Fatalf("per-object times %g do not sum to MemSec %g", sum, d.MemSec())
 	}

@@ -97,9 +97,9 @@ func TestTaskDemandTieredMatchesTwoTier(t *testing.T) {
 			t.Errorf("BytesWritten[%d] differs", tier)
 		}
 	}
-	for obj, v := range legacy.ObjSec {
-		if math.Float64bits(v) != math.Float64bits(tiered.ObjSec[obj]) {
-			t.Errorf("ObjSec[%d] %v != %v", obj, v, tiered.ObjSec[obj])
+	for _, e := range legacy.ObjSecs {
+		if math.Float64bits(e.Sec) != math.Float64bits(tiered.ObjSecOf(e.Obj)) {
+			t.Errorf("ObjSec[%d] %v != %v", e.Obj, e.Sec, tiered.ObjSecOf(e.Obj))
 		}
 	}
 }

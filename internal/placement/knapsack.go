@@ -38,6 +38,31 @@ const DefaultGranularity = 1 << 20
 // (conservative: a chosen set always really fits). Items with
 // non-positive weight are never chosen — moving them cannot pay off.
 func Knapsack(items []Item, capacity int64, gran int64) []int {
+	var sc knapScratch
+	return sc.solve(items, capacity, gran)
+}
+
+// knapCand is one filtered DP candidate.
+type knapCand struct {
+	idx   int
+	cells int
+	w     float64
+}
+
+// knapScratch holds the DP working set — the candidate list, the best[]
+// value row, and the taken choice matrix (flattened into one slab) — so
+// a long-lived owner (the Solver) re-runs the DP without allocating.
+// The DP result is independent of stale scratch contents: best is
+// zeroed and every taken row is written before it is read. Only the
+// returned chosen slice is freshly allocated (callers keep it).
+type knapScratch struct {
+	cands []knapCand
+	best  []float64
+	taken []bool // len(cands) rows of (cells+1) entries
+}
+
+// solve is Knapsack with owner-provided scratch.
+func (sc *knapScratch) solve(items []Item, capacity int64, gran int64) []int {
 	if gran <= 0 {
 		gran = DefaultGranularity
 	}
@@ -47,12 +72,7 @@ func Knapsack(items []Item, capacity int64, gran int64) []int {
 	}
 
 	// Candidate filter: positive weight and fits at all.
-	type cand struct {
-		idx   int
-		cells int
-		w     float64
-	}
-	var cands []cand
+	cands := sc.cands[:0]
 	for i, it := range items {
 		if it.Weight <= 0 || it.Size <= 0 {
 			continue
@@ -61,32 +81,62 @@ func Knapsack(items []Item, capacity int64, gran int64) []int {
 		if c > cells {
 			continue
 		}
-		cands = append(cands, cand{idx: i, cells: c, w: it.Weight})
+		cands = append(cands, knapCand{idx: i, cells: c, w: it.Weight})
 	}
+	sc.cands = cands
 	if len(cands) == 0 {
 		return nil
 	}
 
-	// Classic DP over capacity cells, tracking choices with a bitset row
-	// per item to reconstruct the solution.
-	best := make([]float64, cells+1)
-	taken := make([][]bool, len(cands))
+	// Fast path: if every positive-weight candidate fits together, the
+	// optimum is all of them — the DP would reconstruct exactly that set
+	// (dropping any candidate only loses weight). Local searches pose
+	// this case constantly: one task's few chunks against a whole tier.
+	total := 0
+	for _, c := range cands {
+		total += c.cells
+	}
+	if total <= cells {
+		chosen := make([]int, len(cands))
+		for i, c := range cands {
+			chosen[i] = c.idx // ascending already: the filter preserves item order
+		}
+		return chosen
+	}
+
+	// Classic DP over capacity cells, tracking choices with a row per
+	// item to reconstruct the solution.
+	row := cells + 1
+	if cap(sc.best) < row {
+		sc.best = make([]float64, row)
+	}
+	best := sc.best[:row]
+	for i := range best {
+		best[i] = 0
+	}
+	if need := len(cands) * row; cap(sc.taken) < need {
+		sc.taken = make([]bool, need)
+	}
+	taken := sc.taken[:len(cands)*row]
 	for i, c := range cands {
-		row := make([]bool, cells+1)
+		// Bulk-clear the row (memclr), then mark only the improvements:
+		// cheaper than a branch-and-store per cell, and cells below the
+		// item's own size can never take it at all.
+		tr := taken[i*row : (i+1)*row]
+		clear(tr)
 		for cap := cells; cap >= c.cells; cap-- {
 			if v := best[cap-c.cells] + c.w; v > best[cap] {
 				best[cap] = v
-				row[cap] = true
+				tr[cap] = true
 			}
 		}
-		taken[i] = row
 	}
 
 	// Reconstruct.
 	var chosen []int
 	cap := cells
 	for i := len(cands) - 1; i >= 0; i-- {
-		if taken[i][cap] {
+		if taken[i*row+cap] {
 			chosen = append(chosen, cands[i].idx)
 			cap -= cands[i].cells
 		}

@@ -24,8 +24,9 @@ import (
 // The cache grows with the number of distinct candidate patterns seen,
 // which a runner's fixed kind set keeps small.
 type Solver struct {
-	cache map[string][]int
-	key   []byte
+	cache   map[string][]int
+	key     []byte
+	scratch knapScratch // reused DP working set; misses allocate only the result
 
 	// Hits and Misses count Solve outcomes, for tests and benchmarks.
 	Hits, Misses int
@@ -55,7 +56,7 @@ func (s *Solver) Solve(items []Item, capacity, gran int64) []int {
 		return chosen
 	}
 	s.Misses++
-	chosen := Knapsack(items, capacity, gran)
+	chosen := s.scratch.solve(items, capacity, gran)
 	s.cache[string(k)] = chosen
 	return chosen
 }
@@ -83,7 +84,7 @@ func (s *Solver) SolveTagged(tag uint64, items []Item, capacity, gran int64) []i
 		return chosen
 	}
 	s.Misses++
-	chosen := Knapsack(items, capacity, gran)
+	chosen := s.scratch.solve(items, capacity, gran)
 	s.cache[string(k)] = chosen
 	return chosen
 }

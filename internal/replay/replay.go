@@ -50,10 +50,17 @@ type Recording struct {
 }
 
 // Record runs the graph under the configuration with recording enabled
-// and returns the run's result together with its recording. Any trace
-// already set on the configuration is replaced.
+// and returns the run's result together with its recording. A trace
+// already set on the configuration is Reset and reused as the recording
+// buffer — the allocation-free path for callers recording many runs
+// back to back; when none is set a fresh one is allocated.
 func Record(g *task.Graph, cfg core.Config) (core.Result, *Recording, error) {
-	tr := &trace.Trace{}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = &trace.Trace{}
+	} else {
+		tr.Reset()
+	}
 	cfg.Trace = tr
 	res, err := core.Run(g, cfg)
 	if err != nil {

@@ -143,6 +143,21 @@ type Flow struct {
 // Start returns the virtual time at which the flow started.
 func (f *Flow) Start() float64 { return f.started }
 
+// Reuse resets a completed flow so its owner may start it again with
+// fresh stages — the allocation-free path for steady streams of
+// short-lived flows (one pooled flow per concurrent task instead of a
+// fresh Flow, stage slice, and closure per start). Only a flow whose
+// OnDone has fired may be reused: the engine holds no references to a
+// completed flow past the event that completed it.
+func (f *Flow) Reuse() {
+	if !f.done {
+		panic("sim: Reuse of an incomplete Flow")
+	}
+	f.id, f.stage, f.started = 0, 0, 0
+	f.remain, f.fixedAt, f.nextAt, f.curRate = 0, 0, 0, 0
+	f.done = false
+}
+
 // timer is a scheduled callback. A daemon timer never keeps the engine
 // alive: Run returns once no flows and no regular timers remain, even if
 // daemon timers are still pending (they are simply never fired). Fault

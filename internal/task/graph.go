@@ -3,6 +3,7 @@ package task
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an immutable task DAG plus its data objects. Build one with a
@@ -25,6 +26,12 @@ type Graph struct {
 	// per-kind arrays instead of map lookups.
 	kindNames []string
 	kindOf    []int32
+
+	// validated latches a successful Validate. The graph is immutable
+	// once built, so the structural checks cannot change answer; every
+	// run re-validates its input graph, and without the latch the check's
+	// succSeen map dominated small-run allocation profiles.
+	validated atomic.Bool
 }
 
 // buildKindTable derives the kind table from a task list.
@@ -204,6 +211,9 @@ func (g *Graph) ObjectTraffic() map[ObjectID]Access {
 // dependence edges pointing backwards in submission order, and symmetric
 // dep/succ lists. Workload generators are tested against it.
 func (g *Graph) Validate() error {
+	if g.validated.Load() {
+		return nil
+	}
 	for i, o := range g.Objects {
 		if o.ID != ObjectID(i) {
 			return fmt.Errorf("task: object %d has ID %d", i, o.ID)
@@ -257,5 +267,6 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
+	g.validated.Store(true)
 	return nil
 }

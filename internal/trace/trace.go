@@ -126,6 +126,31 @@ func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
 // AddDispatch appends one scheduler decision.
 func (t *Trace) AddDispatch(d Dispatch) { t.Dispatches = append(t.Dispatches, d) }
 
+// Grow ensures room for at least events more events and dispatches more
+// dispatch records without further allocation. Recorders that know the
+// workload's size (the runtime does: every task contributes a bounded
+// number of records) call it once up front so Add never reallocates.
+func (t *Trace) Grow(events, dispatches int) {
+	if need := len(t.Events) + events; need > cap(t.Events) {
+		grown := make([]Event, len(t.Events), need)
+		copy(grown, t.Events)
+		t.Events = grown
+	}
+	if need := len(t.Dispatches) + dispatches; need > cap(t.Dispatches) {
+		grown := make([]Dispatch, len(t.Dispatches), need)
+		copy(grown, t.Dispatches)
+		t.Dispatches = grown
+	}
+}
+
+// Reset empties the trace but keeps both buffers, so a caller recording
+// many runs back to back (replay verification, the chaos suite) reuses
+// one Trace with zero steady-state allocation.
+func (t *Trace) Reset() {
+	t.Events = t.Events[:0]
+	t.Dispatches = t.Dispatches[:0]
+}
+
 // Len returns the number of recorded events.
 func (t *Trace) Len() int { return len(t.Events) }
 
@@ -366,15 +391,11 @@ func parseTier(s string) (mem.Tier, error) {
 // WriteJSONL writes the full recording — events in log order, then
 // dispatch records in decision order — one JSON object per line.
 func (t *Trace) WriteJSONL(w io.Writer) error {
-	emit := func(r jsonRec) error {
-		b, err := json.Marshal(r)
-		if err != nil {
-			return err
-		}
-		b = append(b, '\n')
-		_, err = w.Write(b)
-		return err
-	}
+	// One Encoder reused across lines: Encode is Marshal plus a trailing
+	// '\n', byte for byte, but amortizes the encode buffer across records
+	// instead of allocating a fresh one per line.
+	enc := json.NewEncoder(w)
+	emit := func(r jsonRec) error { return enc.Encode(&r) }
 	for _, e := range t.Events {
 		r := jsonRec{
 			T: e.Time, K: e.Kind.String(),

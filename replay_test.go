@@ -13,26 +13,32 @@ import (
 // with very different scheduling and migration behaviour.
 func TestReplayFidelity(t *testing.T) {
 	for _, name := range []string{"cholesky", "heat", "cg"} {
-		w, err := BuildWorkload(name, WorkloadParams{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 96*MB))
-		cfg.Policy = Tahoe
-		orig, rec, err := Record(w.Graph, cfg)
-		if err != nil {
-			t.Fatalf("%s: record: %v", name, err)
-		}
-		again, err := Replay(w.Graph, cfg, rec)
-		if err != nil {
-			t.Fatalf("%s: replay: %v", name, err)
-		}
-		if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
-			t.Errorf("%s: makespan diverged: %v vs %v", name, orig.Time, again.Time)
-		}
-		if orig != again {
-			t.Errorf("%s: replayed result differs:\nrecorded: %+v\nreplayed: %+v", name, orig, again)
-		}
+		t.Run(name, func(t *testing.T) {
+			// Each workload records and replays against its own graph and
+			// trace, so the fidelity checks fan out across test workers
+			// without affecting the bit-for-bit comparison.
+			t.Parallel()
+			w, err := BuildWorkload(name, WorkloadParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 96*MB))
+			cfg.Policy = Tahoe
+			orig, rec, err := Record(w.Graph, cfg)
+			if err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			again, err := Replay(w.Graph, cfg, rec)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
+				t.Errorf("makespan diverged: %v vs %v", orig.Time, again.Time)
+			}
+			if orig != again {
+				t.Errorf("replayed result differs:\nrecorded: %+v\nreplayed: %+v", orig, again)
+			}
+		})
 	}
 }
 

@@ -44,6 +44,7 @@ Engine internals (the incremental-rate hot path)
 Planner internals (the incremental, allocation-light decision core)
 Replay internals (record once, vary placement)
 Fault model & degraded modes
+Memory layout & allocation discipline
 EOF
 
 if [ "$bad" -ne 0 ]; then
