@@ -1,7 +1,10 @@
 package tahoe
 
 import (
+	"fmt"
 	"io"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -9,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/placement"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/trace"
@@ -312,6 +316,60 @@ func BenchmarkLockFreeVsMutexPool(b *testing.B) {
 
 func BenchmarkE16_ChunkGranularity(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17_Replay(b *testing.B)           { benchExperiment(b, "E17") }
+
+// serveBenchLoop is the shared body of the service benchmarks: each
+// client goroutine is its own tenant (so the tenant-shard fan-out is
+// exercised) issuing runs through the full admission + pool path.
+func serveBenchLoop(b *testing.B, s *serve.Server) {
+	warm := serve.RunRequest{Tenant: "bench", Workload: "heat", Scale: 5}
+	if resp, err := s.Do(&warm); err != nil || resp.Error != "" {
+		b.Fatalf("warm run: %v %q", err, resp.Error)
+	}
+	var tenants atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		req := serve.RunRequest{
+			Tenant:   fmt.Sprintf("bench-%d", tenants.Add(1)),
+			Workload: "heat",
+			Scale:    5,
+		}
+		for pb.Next() {
+			resp, err := s.Do(&req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Error != "" {
+				b.Fatal(resp.Error)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkServeThroughput is the service's headline number: runs/sec
+// through the multi-tenant daemon's in-process path (admission, tenant
+// shard, pooled run context, worker pool) at the default pool size.
+// allocs/op is gated: steady-state request handling must not allocate
+// beyond the run itself.
+func BenchmarkServeThroughput(b *testing.B) {
+	s := serve.New(serve.Config{})
+	defer s.Close()
+	serveBenchLoop(b, s)
+}
+
+// BenchmarkServeScaling sweeps the worker pool size; runs/sec should
+// scale near-linearly up to the core count.
+func BenchmarkServeScaling(b *testing.B) {
+	for w := 1; w <= runtime.GOMAXPROCS(0); w *= 2 {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			s := serve.New(serve.Config{Workers: w})
+			defer s.Close()
+			serveBenchLoop(b, s)
+		})
+	}
+}
 
 // Planner micro-benchmarks: the optimized searches and the retained
 // reference planner run on the same frozen mid-run state (profiled

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// clientOptions shapes one load-generation run against a tahoe-serve
+// daemon.
+type clientOptions struct {
+	URL         string
+	Concurrency int
+	Requests    int
+	Workload    string
+	Scale       int
+	Policy      string
+}
+
+// runClient drives the daemon at the target concurrency and reports
+// throughput (runs/sec) and latency percentiles. Shed requests (429)
+// honor the server's Retry-After hint and retry; they count toward
+// latency only through their eventual successful attempt.
+func runClient(opt clientOptions) error {
+	body, err := json.Marshal(map[string]any{
+		"tenant":   "bench",
+		"workload": opt.Workload,
+		"scale":    opt.Scale,
+		"policy":   opt.Policy,
+	})
+	if err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var (
+		next      atomic.Int64
+		shed      atomic.Int64
+		failures  atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	one := func(payload []byte) error {
+		start := time.Now()
+		for {
+			resp, err := client.Post(opt.URL+"/v1/run", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				return err
+			}
+			b, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var rr struct {
+					Error string `json:"error"`
+				}
+				if err := json.Unmarshal(b, &rr); err != nil {
+					return err
+				}
+				if rr.Error != "" {
+					return fmt.Errorf("run failed: %s", rr.Error)
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(start))
+				mu.Unlock()
+				return nil
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+				wait := time.Second
+				if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec >= 1 {
+					wait = time.Duration(sec) * time.Second
+				}
+				if wait > 5*time.Second {
+					wait = 5 * time.Second
+				}
+				time.Sleep(wait)
+			default:
+				return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+		}
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(opt.Requests) {
+				if err := one(body); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "tahoe-bench: %v\n", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+
+	done := len(latencies)
+	if done == 0 {
+		return fmt.Errorf("no successful runs against %s", opt.URL)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(done-1))
+		return latencies[i]
+	}
+	fmt.Printf("serve %s: %d runs, %d workers, %.2fs wall\n", opt.URL, done, opt.Concurrency, wall.Seconds())
+	fmt.Printf("  throughput  %.1f runs/sec\n", float64(done)/wall.Seconds())
+	fmt.Printf("  latency     p50 %.2fms  p90 %.2fms  p99 %.2fms\n",
+		pct(0.50).Seconds()*1e3, pct(0.90).Seconds()*1e3, pct(0.99).Seconds()*1e3)
+	fmt.Printf("  shed 429s   %d (retried)\n", shed.Load())
+	if n := failures.Load(); n > 0 {
+		return fmt.Errorf("%d requests failed", n)
+	}
+	return nil
+}

@@ -11,6 +11,12 @@
 //	tahoe-bench -cpuprofile f  # write a CPU profile of the run
 //	tahoe-bench -memprofile f  # write a heap profile at exit
 //
+// Client mode drives a running tahoe-serve daemon instead of the local
+// experiment suite, reporting throughput and latency percentiles:
+//
+//	tahoe-bench -serve http://localhost:8080 -c 16 -n 500
+//	tahoe-bench -serve ... -workload cholesky -scale 16 -policy tahoe
+//
 // Tables are byte-identical at any -parallel setting: cells are
 // independent deterministic simulations and rows are assembled in
 // declaration order.
@@ -35,8 +41,29 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment-cell workers (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to `file`")
 		memprofile = flag.String("memprofile", "", "write heap profile to `file`")
+
+		serveURL    = flag.String("serve", "", "tahoe-serve base `URL`; switches to load-generator client mode")
+		concurrency = flag.Int("c", 8, "client mode: concurrent requesters")
+		requests    = flag.Int("n", 200, "client mode: total requests")
+		workload    = flag.String("workload", "heat", "client mode: workload name")
+		scale       = flag.Int("scale", 8, "client mode: workload scale")
+		policy      = flag.String("policy", "tahoe", "client mode: placement policy")
 	)
 	flag.Parse()
+
+	if *serveURL != "" {
+		if err := runClient(clientOptions{
+			URL:         *serveURL,
+			Concurrency: *concurrency,
+			Requests:    *requests,
+			Workload:    *workload,
+			Scale:       *scale,
+			Policy:      *policy,
+		}); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range tahoe.Experiments() {

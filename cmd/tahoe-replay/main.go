@@ -26,22 +26,13 @@ import (
 	"os"
 
 	tahoe "repro"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/replay"
 	"repro/internal/report"
 	"repro/internal/task"
 	"strings"
 )
-
-var policies = map[string]tahoe.Policy{
-	"dram":       tahoe.DRAMOnly,
-	"nvm":        tahoe.NVMOnly,
-	"firsttouch": tahoe.FirstTouch,
-	"xmem":       tahoe.XMem,
-	"hwcache":    tahoe.HWCache,
-	"phase":      tahoe.PhaseBased,
-	"tahoe":      tahoe.Tahoe,
-}
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tahoe-replay: "+format+"\n", args...)
@@ -74,29 +65,31 @@ func main() {
 	if modes != 1 {
 		fail("choose exactly one of -record, -replay, -check")
 	}
-	p, ok := policies[*policy]
-	if !ok {
-		fail("unknown policy %q", *policy)
-	}
-	// Faults apply when recording; a replay reconstructs the schedule
-	// from the recording's metadata instead.
-	fsched, err := tahoe.ParseFaultSpec(*faults)
+	p, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
 		fail("%v", err)
 	}
+	// Faults apply when recording; a replay reconstructs the schedule
+	// from the recording's metadata instead.
+	fsched, err := cliutil.ParseFaults(*faults)
+	if err != nil {
+		fail("%v", err)
+	}
+	// The -bw/-lat pair is sugar over the shared machine-spec syntax.
 	machine := func() tahoe.HMS {
-		nvm := tahoe.NVMBandwidth(*frac)
+		spec := cliutil.MachineSpec{
+			NVM:    fmt.Sprintf("bw:%g", *frac),
+			DRAMMB: *dramMB,
+			CXLMB:  *cxlMB,
+		}
 		if *lat > 0 {
-			nvm = tahoe.NVMLatency(*lat)
+			spec.NVM = fmt.Sprintf("lat:%g", *lat)
 		}
-		if *cxlMB > 0 {
-			return tahoe.NewTieredHMS(
-				tahoe.TierSpec{Device: nvm, Capacity: 1 << 44},
-				tahoe.TierSpec{Device: tahoe.CXL(), Capacity: *cxlMB * tahoe.MB},
-				tahoe.TierSpec{Device: tahoe.DRAM(), Capacity: *dramMB * tahoe.MB},
-			)
+		h, err := spec.Build()
+		if err != nil {
+			fail("%v", err)
 		}
-		return tahoe.NewHMS(tahoe.DRAM(), nvm, *dramMB*tahoe.MB)
+		return h
 	}
 
 	buildCfg := func(pol tahoe.Policy) core.Config {
@@ -166,8 +159,8 @@ func main() {
 		g := buildGraph(rec.Meta.Workload)
 		recordedPolicy := tahoe.Tahoe
 		found := false
-		for _, pol := range policies {
-			if pol.String() == rec.Meta.Policy {
+		for _, name := range core.PolicyNames() {
+			if pol, err := core.PolicyByName(name); err == nil && pol.String() == rec.Meta.Policy {
 				recordedPolicy, found = pol, true
 				break
 			}

@@ -1,0 +1,86 @@
+// Command tahoe-serve runs the runtime as a multi-tenant placement
+// service: an HTTP/JSON daemon executing simulated runs on a bounded
+// worker pool (see internal/serve for the API and scaling discipline).
+//
+// Usage:
+//
+//	tahoe-serve                     # listen on :8080
+//	tahoe-serve -addr :9090         # another port
+//	tahoe-serve -workers 8 -queue 64
+//	tahoe-serve -shed-high 0.9 -shed-low 0.3
+//
+// Endpoints: POST /v1/run (single object or batch array, batches
+// streamed back as NDJSON), GET /v1/workloads, GET /v1/stats,
+// GET /healthz. SIGTERM or SIGINT drains: new runs are refused with
+// 503 while every accepted run completes and is delivered.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "run-executing worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+		shedHigh = flag.Float64("shed-high", 0, "degraded-mode engage watermark, queue occupancy in (0,1] (0 = 0.75)")
+		shedLow  = flag.Float64("shed-low", 0, "degraded-mode release watermark (0 = shed-high/3)")
+		degScale = flag.Int("degraded-scale", 0, "workload scale cap while degraded (0 = 6)")
+		drainFor = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for accepted runs on shutdown")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ShedHigh:         *shedHigh,
+		ShedLow:          *shedLow,
+		DegradedScaleCap: *degScale,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	st := s.Snapshot()
+	log.Printf("tahoe-serve: listening on %s (%d workers, queue depth %d)", *addr, st.Workers, st.QueueCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		fail("listen: %v", err)
+	case got := <-sig:
+		log.Printf("tahoe-serve: %s: draining", got)
+	}
+
+	// Drain first — accepted runs complete and their responses go out
+	// over still-open connections — then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		fail("drain: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fail("shutdown: %v", err)
+	}
+	_ = s.Close()
+	st = s.Snapshot()
+	log.Printf("tahoe-serve: drained: %d accepted, %d completed, %d failed, %d shed, %d degraded",
+		st.Accepted, st.Completed, st.Failed, st.Shed, st.Degraded)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tahoe-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

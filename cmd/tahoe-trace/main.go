@@ -14,18 +14,9 @@ import (
 	"os"
 
 	tahoe "repro"
+	"repro/internal/cliutil"
 	"repro/internal/trace"
 )
-
-var policies = map[string]tahoe.Policy{
-	"dram":       tahoe.DRAMOnly,
-	"nvm":        tahoe.NVMOnly,
-	"firsttouch": tahoe.FirstTouch,
-	"xmem":       tahoe.XMem,
-	"hwcache":    tahoe.HWCache,
-	"phase":      tahoe.PhaseBased,
-	"tahoe":      tahoe.Tahoe,
-}
 
 func main() {
 	var (
@@ -39,9 +30,9 @@ func main() {
 	)
 	flag.Parse()
 
-	p, ok := policies[*policy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tahoe-trace: unknown policy %q\n", *policy)
+	p, err := cliutil.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tahoe-trace: %v\n", err)
 		os.Exit(1)
 	}
 	h := tahoe.NewHMS(tahoe.DRAM(), tahoe.NVMBandwidth(*frac), *dramMB*tahoe.MB)

@@ -17,30 +17,11 @@ import (
 	"repro/internal/cliutil"
 )
 
-var policies = map[string]tahoe.Policy{
-	"dram":       tahoe.DRAMOnly,
-	"nvm":        tahoe.NVMOnly,
-	"firsttouch": tahoe.FirstTouch,
-	"xmem":       tahoe.XMem,
-	"hwcache":    tahoe.HWCache,
-	"phase":      tahoe.PhaseBased,
-	"tahoe":      tahoe.Tahoe,
-}
-
-var schedulers = map[string]tahoe.Scheduler{
-	"worksteal": tahoe.WorkSteal,
-	"fifo":      tahoe.FIFOQueue,
-	"lifo":      tahoe.LIFOQueue,
-	"rank":      tahoe.RankSched,
-}
-
 func main() {
 	var (
 		workload  = flag.String("workload", "cholesky", "workload name (see -list)")
 		policy    = flag.String("policy", "tahoe", "dram|nvm|firsttouch|xmem|hwcache|phase|tahoe")
-		nvm       = flag.String("nvm", "bw:0.5", "NVM device: bw:<frac>, lat:<mult>, optane, pcram, sttram, reram")
-		dramMB    = flag.Int64("dram", 128, "DRAM capacity in MB")
-		cxlMB     = flag.Int64("cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
+		machine   = cliutil.MachineFlags(flag.CommandLine)
 		workers   = flag.Int("workers", 8, "simulated workers")
 		scale     = flag.Int("scale", 0, "workload scale (0 = default)")
 		scheduler = flag.String("sched", "worksteal", "worksteal|fifo|lifo|rank")
@@ -63,27 +44,17 @@ func main() {
 		return
 	}
 
-	p, ok := policies[*policy]
-	if !ok {
-		fail("unknown policy %q", *policy)
-	}
-	sc, ok := schedulers[*scheduler]
-	if !ok {
-		fail("unknown scheduler %q", *scheduler)
-	}
-	dev, err := cliutil.ParseNVM(*nvm)
+	p, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
 		fail("%v", err)
 	}
-
-	h := tahoe.NewHMS(tahoe.DRAM(), dev, *dramMB*tahoe.MB)
-	if *cxlMB > 0 {
-		// Insert a CXL-attached DRAM expander between local DRAM and the NVM.
-		h = tahoe.NewTieredHMS(
-			tahoe.TierSpec{Device: dev, Capacity: 1 << 44},
-			tahoe.TierSpec{Device: tahoe.CXL(), Capacity: *cxlMB * tahoe.MB},
-			tahoe.TierSpec{Device: tahoe.DRAM(), Capacity: *dramMB * tahoe.MB},
-		)
+	sc, err := cliutil.ParseScheduler(*scheduler)
+	if err != nil {
+		fail("%v", err)
+	}
+	h, err := machine.Build()
+	if err != nil {
+		fail("%v", err)
 	}
 	cfg := tahoe.DefaultConfig(h)
 	cfg.Policy = p
@@ -91,7 +62,7 @@ func main() {
 	cfg.Scheduler = sc
 	cfg.Lookahead = *lookahead
 	cfg.RunKernels = *kernels
-	if fs, err := tahoe.ParseFaultSpec(*faults); err != nil {
+	if fs, err := cliutil.ParseFaults(*faults); err != nil {
 		fail("%v", err)
 	} else {
 		cfg.Faults = fs
@@ -121,11 +92,11 @@ func main() {
 	}
 
 	fmt.Printf("workload    %s (%d tasks, %d objects)\n", res.Workload, res.Tasks, len(built.Graph.Objects))
-	if *cxlMB > 0 {
+	if machine.CXLMB > 0 {
 		fmt.Printf("machine     DRAM %d MB + CXL %d MB + %s, %d workers\n",
-			*dramMB, *cxlMB, dev.Name, *workers)
+			machine.DRAMMB, machine.CXLMB, h.NVM.Name, *workers)
 	} else {
-		fmt.Printf("machine     DRAM %d MB + %s, %d workers\n", *dramMB, dev.Name, *workers)
+		fmt.Printf("machine     DRAM %d MB + %s, %d workers\n", machine.DRAMMB, h.NVM.Name, *workers)
 	}
 	fmt.Printf("policy      %s (scheduler %s)\n", res.Policy, sc)
 	fmt.Printf("time        %.6f s (simulated)\n", res.Time)
@@ -139,7 +110,7 @@ func main() {
 	}
 	fmt.Printf("overhead    %.2f%% of makespan (profiling %.4fs, solver %.4fs, sync %.4fs)\n",
 		res.OverheadFraction()*100, res.OverheadProfilingSec, res.OverheadSolverSec, res.OverheadSyncSec)
-	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, *dramMB)
+	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, machine.DRAMMB)
 }
 
 func orNone(s string) string {

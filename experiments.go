@@ -188,46 +188,12 @@ func hmsLat(mult float64) mem.HMS {
 }
 func hmsOptane() mem.HMS { return mem.NewHMS(mem.DRAM(), mem.OptanePM(), expDRAM) }
 
-// calibCache memoizes the per-machine constant factors. Entries carry a
-// per-key sync.Once so concurrent cells needing the same machine neither
-// duplicate the calibration run nor serialize behind a global lock while
-// one of them computes (different machines calibrate concurrently).
-type calibEntry struct {
-	once sync.Once
-	f    calib.Factors
-}
-
-var (
-	calibMu    sync.Mutex
-	calibCache = map[string]*calibEntry{}
-)
-
+// factorsFor returns the per-machine constant factors through the
+// process-wide singleflight calibration cache (calib.Shared), which the
+// serve daemon shares: concurrent cells — or a thousand concurrent
+// tenants — needing the same machine pay for calibration exactly once.
 func factorsFor(h mem.HMS) calib.Factors {
-	// The constant factors calibrate the runtime's model against the
-	// simulated truth for a device pair; they are a property of the
-	// fastest/slowest envelope, not of any middle tier. N-tier machines
-	// therefore reuse the factors of their two-device envelope — which
-	// also keeps the cache key's device-pair form collision-free between
-	// a 3-tier machine and the 2-tier machine it envelopes.
-	if h.NumTiers() > 2 {
-		h = mem.NewHMS(h.DRAM, h.NVM, h.DRAMCapacity)
-	}
-	key := fmt.Sprintf("%s|%s|%g|%g", h.DRAM.Name, h.NVM.Name, h.NVM.ReadBW, h.NVM.ReadLatNS)
-	calibMu.Lock()
-	e, ok := calibCache[key]
-	if !ok {
-		e = &calibEntry{}
-		calibCache[key] = e
-	}
-	calibMu.Unlock()
-	e.once.Do(func() {
-		f, err := calib.Calibrate(h, prof.DefaultConfig())
-		if err != nil {
-			f = calib.Factors{CFBw: 1, CFLat: 1}
-		}
-		e.f = f
-	})
-	return e.f
+	return calib.Shared.Factors(h, prof.DefaultConfig())
 }
 
 // expConfig is the standard calibrated configuration for a machine.

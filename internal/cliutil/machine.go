@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
+
+// MachineSpec is the shared machine description: the `-nvm`/`-dram`/
+// `-cxl` CLI flags and the serve daemon's JSON request schema both fill
+// one, so a spec string means the same thing typed at a shell and posted
+// over HTTP. The zero value selects the experiment-wide default machine
+// (128 MB DRAM in front of an NVM at half bandwidth).
+type MachineSpec struct {
+	// NVM is the slow device spec: bw:<frac>, lat:<mult>, optane, pcram,
+	// sttram or reram ("" = bw:0.5).
+	NVM string `json:"nvm,omitempty"`
+	// DRAMMB is the fast tier's capacity in MB (0 = 128).
+	DRAMMB int64 `json:"dram_mb,omitempty"`
+	// CXLMB, when positive, inserts a CXL-attached DRAM expander between
+	// local DRAM and the NVM, making the machine three-tier.
+	CXLMB int64 `json:"cxl_mb,omitempty"`
+}
+
+// withDefaults resolves the zero-value fields.
+func (m MachineSpec) withDefaults() MachineSpec {
+	if m.NVM == "" {
+		m.NVM = "bw:0.5"
+	}
+	if m.DRAMMB == 0 {
+		m.DRAMMB = 128
+	}
+	return m
+}
+
+// String renders the spec in canonical key=value form (used in cache
+// keys, logs and error messages).
+func (m MachineSpec) String() string {
+	m = m.withDefaults()
+	if m.CXLMB > 0 {
+		return fmt.Sprintf("nvm=%s,dram=%d,cxl=%d", m.NVM, m.DRAMMB, m.CXLMB)
+	}
+	return fmt.Sprintf("nvm=%s,dram=%d", m.NVM, m.DRAMMB)
+}
+
+// Build constructs the machine the spec describes.
+func (m MachineSpec) Build() (mem.HMS, error) {
+	m = m.withDefaults()
+	dev, err := ParseNVM(m.NVM)
+	if err != nil {
+		return mem.HMS{}, err
+	}
+	if m.DRAMMB < 0 || m.CXLMB < 0 {
+		return mem.HMS{}, fmt.Errorf("cliutil: negative capacity in machine spec %s", m)
+	}
+	if m.CXLMB > 0 {
+		return mem.NewTieredHMS(
+			mem.TierSpec{Device: dev, Capacity: 1 << 44},
+			mem.TierSpec{Device: mem.CXL(), Capacity: m.CXLMB * mem.MB},
+			mem.TierSpec{Device: mem.DRAM(), Capacity: m.DRAMMB * mem.MB},
+		), nil
+	}
+	return mem.NewHMS(mem.DRAM(), dev, m.DRAMMB*mem.MB), nil
+}
+
+// MachineFlags registers the shared -nvm/-dram/-cxl flags on fs and
+// returns the spec they fill in after fs.Parse.
+func MachineFlags(fs *flag.FlagSet) *MachineSpec {
+	m := &MachineSpec{}
+	fs.StringVar(&m.NVM, "nvm", "bw:0.5", "NVM device: bw:<frac>, lat:<mult>, optane, pcram, sttram, reram")
+	fs.Int64Var(&m.DRAMMB, "dram", 128, "DRAM capacity in MB")
+	fs.Int64Var(&m.CXLMB, "cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
+	return m
+}
+
+// ParsePolicy resolves a placement policy from its stable CLI/API name.
+func ParsePolicy(s string) (core.Policy, error) { return core.PolicyByName(s) }
+
+// ParseScheduler resolves a ready-queue discipline from its stable name.
+func ParseScheduler(s string) (core.Scheduler, error) { return core.SchedulerByName(s) }
+
+// ParseFaults parses the shared -faults/"faults" spec string ("" or
+// "none" = no schedule).
+func ParseFaults(s string) (*fault.Schedule, error) { return fault.ParseSpec(s) }

@@ -18,6 +18,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -82,6 +84,37 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// policyNames maps the stable CLI/API names to policies. Pinned is
+// deliberately absent: it needs a Pin selector no name can carry.
+var policyNames = map[string]Policy{
+	"dram":       DRAMOnly,
+	"nvm":        NVMOnly,
+	"firsttouch": FirstTouch,
+	"xmem":       XMem,
+	"hwcache":    HWCache,
+	"phase":      PhaseBased,
+	"tahoe":      Tahoe,
+}
+
+// PolicyByName resolves a policy from its stable lowercase name — the
+// one the CLI flags and the serve daemon's request schema accept.
+func PolicyByName(name string) (Policy, error) {
+	if p, ok := policyNames[name]; ok {
+		return p, nil
+	}
+	return Tahoe, fmt.Errorf("core: unknown policy %q (want one of %s)", name, strings.Join(PolicyNames(), "|"))
+}
+
+// PolicyNames lists the selectable policy names in stable order.
+func PolicyNames() []string {
+	out := make([]string, 0, len(policyNames))
+	for n := range policyNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Scheduler selects the ready-queue discipline.
 type Scheduler int
 
@@ -109,6 +142,33 @@ func (s Scheduler) String() string {
 		return "rank"
 	}
 	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// schedulerNames maps the stable names (Scheduler.String values) back to
+// schedulers.
+var schedulerNames = map[string]Scheduler{
+	"worksteal": WorkSteal,
+	"fifo":      FIFOQueue,
+	"lifo":      LIFOQueue,
+	"rank":      RankSched,
+}
+
+// SchedulerByName resolves a scheduler from its stable name.
+func SchedulerByName(name string) (Scheduler, error) {
+	if s, ok := schedulerNames[name]; ok {
+		return s, nil
+	}
+	return WorkSteal, fmt.Errorf("core: unknown scheduler %q (want one of %s)", name, strings.Join(SchedulerNames(), "|"))
+}
+
+// SchedulerNames lists the selectable scheduler names in stable order.
+func SchedulerNames() []string {
+	out := make([]string, 0, len(schedulerNames))
+	for n := range schedulerNames {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Techniques are the individually ablatable pieces of the full system —

@@ -1,0 +1,65 @@
+package fault
+
+import "sync"
+
+// Hysteresis is a two-watermark on/off controller: the mode switches on
+// when the observed level reaches High and off only once it falls to
+// Low (< High), so a level oscillating around one threshold cannot flap
+// the mode. It is the degradation machinery's windowing discipline
+// factored out of the injector — the injector's Degrade windows flip on
+// schedule boundaries, an overload controller's flip on load watermarks,
+// but both expose the same contract: a current on/off state plus an
+// epoch counter that advances exactly when the state may have changed,
+// so callers can memoize derived state per epoch the way the runtime
+// memoizes DegradedView. The serve daemon's admission controller uses
+// one to enter and leave its load-shedding degraded mode.
+//
+// The zero value is unusable; build with NewHysteresis. All methods are
+// safe for concurrent use.
+type Hysteresis struct {
+	mu    sync.Mutex
+	high  float64
+	low   float64
+	on    bool
+	epoch uint64
+}
+
+// NewHysteresis builds a controller with the given watermarks. high
+// must exceed low; both are in the caller's level units (the serve
+// daemon uses queue occupancy fractions).
+func NewHysteresis(high, low float64) *Hysteresis {
+	if high <= low {
+		panic("fault: hysteresis watermarks inverted")
+	}
+	return &Hysteresis{high: high, low: low}
+}
+
+// Observe feeds the current level and returns the resulting state.
+func (h *Hysteresis) Observe(level float64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case !h.on && level >= h.high:
+		h.on = true
+		h.epoch++
+	case h.on && level <= h.low:
+		h.on = false
+		h.epoch++
+	}
+	return h.on
+}
+
+// Active reports the current state without feeding a level.
+func (h *Hysteresis) Active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.on
+}
+
+// Epoch returns the transition counter; it advances exactly when
+// Active's answer changes (mirroring Injector.Epoch's contract).
+func (h *Hysteresis) Epoch() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
+}

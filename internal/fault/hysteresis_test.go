@@ -1,0 +1,63 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHysteresisWindowing(t *testing.T) {
+	h := NewHysteresis(0.8, 0.5)
+	if h.Active() {
+		t.Fatal("starts active")
+	}
+	if h.Observe(0.79) {
+		t.Fatal("activated below high watermark")
+	}
+	if !h.Observe(0.8) {
+		t.Fatal("did not activate at high watermark")
+	}
+	e := h.Epoch()
+	// Oscillating between the watermarks must not flap the mode.
+	for _, l := range []float64{0.7, 0.6, 0.79, 0.51} {
+		if !h.Observe(l) {
+			t.Fatalf("deactivated at level %g inside the window", l)
+		}
+	}
+	if h.Epoch() != e {
+		t.Fatal("epoch advanced without a transition")
+	}
+	if h.Observe(0.5) {
+		t.Fatal("did not deactivate at low watermark")
+	}
+	if h.Epoch() != e+1 {
+		t.Fatalf("epoch %d after deactivation, want %d", h.Epoch(), e+1)
+	}
+}
+
+func TestHysteresisInvertedWatermarksPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted watermarks accepted")
+		}
+	}()
+	NewHysteresis(0.5, 0.5)
+}
+
+// TestHysteresisConcurrent exercises the controller under racing
+// observers (meaningful under -race, which CI runs on this package).
+func TestHysteresisConcurrent(t *testing.T) {
+	h := NewHysteresis(0.9, 0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64((i+w)%100) / 100)
+				h.Active()
+				h.Epoch()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

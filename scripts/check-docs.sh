@@ -45,6 +45,7 @@ Planner internals (the incremental, allocation-light decision core)
 Replay internals (record once, vary placement)
 Fault model & degraded modes
 Memory layout & allocation discipline
+Service architecture (placement as a service)
 EOF
 
 if [ "$bad" -ne 0 ]; then
