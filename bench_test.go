@@ -12,6 +12,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/placement"
+	"repro/internal/prof"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -316,6 +317,38 @@ func BenchmarkLockFreeVsMutexPool(b *testing.B) {
 
 func BenchmarkE16_ChunkGranularity(b *testing.B) { benchExperiment(b, "E16") }
 func BenchmarkE17_Replay(b *testing.B)           { benchExperiment(b, "E17") }
+
+// BenchmarkE20_ProfNoiseRegret regenerates the placement-regret grid
+// (each cell is a record + pinned replay pair).
+func BenchmarkE20_ProfNoiseRegret(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkProfilerRecord measures one profiled-execution ingest on the
+// runtime's hot completion path — noise synthesis, canonical-order
+// accumulation, drift scoring. allocs/op is gated at zero: Record sits
+// inside complete() on the planner-bench path and must stay
+// allocation-free in steady state.
+func BenchmarkProfilerRecord(b *testing.B) {
+	cfg := prof.DefaultConfig()
+	p := prof.New(cfg)
+	obs := make([]prof.AccessObs, 8)
+	for i := range obs {
+		obs[i] = prof.AccessObs{
+			Obj:       task.ObjectID(i),
+			Loads:     int64(1e5 + 1000*i),
+			Stores:    int64(3e4 + 500*i),
+			Size:      1 << 20,
+			TimeShare: 0.8,
+		}
+	}
+	e := prof.Exec{Kind: "bench", Duration: 0.01, Obs: obs}
+	p.Record(e) // warm: allocate the per-pair accumulators once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.TaskID = task.TaskID(i)
+		p.Record(e)
+	}
+}
 
 // serveBenchLoop is the shared body of the service benchmarks: each
 // client goroutine is its own tenant (so the tenant-shard fan-out is

@@ -53,6 +53,7 @@ func main() {
 		cxlMB    = flag.Int64("cxl", 0, "CXL middle-tier capacity in MB (0 = classic two-tier machine)")
 		csvPath  = flag.String("csv", "", "with -record: also export the event log as CSV here")
 		faults   = flag.String("faults", "", `fault schedule for -record/-check, e.g. "rate=1,seed=7,horizon=2"`)
+		sampling = flag.String("sampling", "", `profiler sampling, e.g. "interval=100000,jitter=0.4,adaptive" ("" = defaults)`)
 	)
 	flag.Parse()
 
@@ -102,6 +103,11 @@ func main() {
 		cfg.Policy = pol
 		cfg.Workers = *workers
 		cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
+		if pc, err := cliutil.ParseSampling(*sampling, cfg.Prof); err != nil {
+			fail("%v", err)
+		} else {
+			cfg.Prof = pc
+		}
 		return cfg
 	}
 	buildGraph := func(name string) *task.Graph {

@@ -29,6 +29,7 @@ func main() {
 		kernels   = flag.Bool("kernels", false, "execute and verify the real numerical kernels")
 		calibrate = flag.Bool("calibrate", true, "calibrate model constant factors first")
 		faults    = flag.String("faults", "", `fault schedule, e.g. "rate=1,seed=7,horizon=2" ("" = none)`)
+		sampling  = flag.String("sampling", "", `profiler sampling, e.g. "interval=100000,jitter=0.4,adaptive" ("" = defaults)`)
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -66,6 +67,11 @@ func main() {
 		fail("%v", err)
 	} else {
 		cfg.Faults = fs
+	}
+	if pc, err := cliutil.ParseSampling(*sampling, cfg.Prof); err != nil {
+		fail("%v", err)
+	} else {
+		cfg.Prof = pc
 	}
 	if *calibrate {
 		f, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
@@ -110,6 +116,10 @@ func main() {
 	}
 	fmt.Printf("overhead    %.2f%% of makespan (profiling %.4fs, solver %.4fs, sync %.4fs)\n",
 		res.OverheadFraction()*100, res.OverheadProfilingSec, res.OverheadSolverSec, res.OverheadSyncSec)
+	if *sampling != "" {
+		fmt.Printf("sampling    interval %d, jitter %g, adaptive %v (%.0f samples taken)\n",
+			cfg.Prof.SamplingInterval, cfg.Prof.Jitter, cfg.Prof.Adaptive, res.ProfileSamples)
+	}
 	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, machine.DRAMMB)
 }
 

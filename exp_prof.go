@@ -1,0 +1,110 @@
+package tahoe
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{"E20", "Placement regret under profiling noise (fixed vs adaptive sampling)", expE20})
+}
+
+// E20's sampling grid. The dense rate is the default PEBS-class interval
+// (one sample per 1000 accesses); the sparse rate cuts the profiling
+// cost three orders of magnitude and is where rate-dependent noise
+// starts flipping placement decisions. Adaptive starts from the sparse
+// base and densifies only flip-sensitive kinds.
+const (
+	e20DenseIvl  = 1000
+	e20SparseIvl = 1 << 20
+)
+
+// expE20 measures what profiling noise costs the *planner*: each cell
+// records a run with exact profiles, then replays the pinned schedule
+// planning from noisy ones (replay.PlacementRegret), so the regret
+// column is purely the price of noise-induced placement flips. Swept
+// over jitter level and sampling mode for the two profiling policies;
+// Samples is the noisy Tahoe leg's total sampling cost relative to the
+// dense fixed rate.
+func expE20(opt ExpOptions) (*Table, error) {
+	t := report.New("E20", "Placement regret under profiling noise (1/2-bandwidth NVM)",
+		"Workload", "Jitter", "Sampling", "Tahoe regret", "PhaseBased regret", "Samples", "Replans")
+	h := hmsBW(0.5)
+	jitters := []float64{0.1, 0.4, 0.8}
+	if opt.Quick {
+		jitters = []float64{0.4}
+	}
+	type mode struct {
+		name     string
+		interval int64
+		adaptive bool
+	}
+	modes := []mode{
+		{"dense", e20DenseIvl, false},
+		{"sparse", e20SparseIvl, false},
+		{"adaptive", e20SparseIvl, true},
+	}
+	apps := e20Apps(opt)
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
+		g := buildApp(s, opt)
+		regret := func(p core.Policy, jitter float64, m mode) replay.RegretResult {
+			cfg := expConfig(h, p)
+			cfg.Prof.Jitter = jitter
+			cfg.Prof.SamplingInterval = m.interval
+			cfg.Prof.Adaptive = m.adaptive
+			rr, err := replay.PlacementRegret(g, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("tahoe: E20 %s/%s: %v", s.Name, p, err))
+			}
+			return rr
+		}
+		// The dense fixed rate's sampling cost anchors the Samples column.
+		denseSamples := 0.0
+		var out [][]string
+		first := true
+		for _, jitter := range jitters {
+			for _, m := range modes {
+				ta := regret(core.Tahoe, jitter, m)
+				pb := regret(core.PhaseBased, jitter, m)
+				if m.name == "dense" && denseSamples == 0 {
+					denseSamples = ta.Noisy.ProfileSamples
+				}
+				name := s.Name
+				if !first {
+					name = ""
+				}
+				first = false
+				out = append(out, []string{name,
+					fmt.Sprintf("%.1f", jitter),
+					m.name,
+					report.F(ta.Regret()),
+					report.F(pb.Regret()),
+					report.Norm(ta.Noisy.ProfileSamples, denseSamples),
+					report.Int(ta.Noisy.Replans)})
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
+	t.Note("regret = noisy-plan makespan / perfect-plan makespan over the same recorded schedule (replay-pinned)")
+	t.Note("dense interval %d, sparse %d accesses/sample; adaptive densifies flip-margin kinds from the sparse base", int64(e20DenseIvl), int64(e20SparseIvl))
+	t.Note("Samples = noisy Tahoe leg's expected sample count, normalized to the dense fixed rate; Replans are the noisy Tahoe leg's")
+	return t, nil
+}
+
+// e20Apps keeps the grid to the four representative applications: the
+// sweep is jitters x modes x policies x workloads with two full runs per
+// regret cell.
+func e20Apps(opt ExpOptions) []workloads.Spec {
+	quick := opt
+	quick.Quick = true
+	return expApps(quick)
+}

@@ -3,10 +3,13 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mem"
+	"repro/internal/prof"
 )
 
 // MachineSpec is the shared machine description: the `-nvm`/`-dram`/
@@ -85,3 +88,63 @@ func ParseScheduler(s string) (core.Scheduler, error) { return core.SchedulerByN
 // ParseFaults parses the shared -faults/"faults" spec string ("" or
 // "none" = no schedule).
 func ParseFaults(s string) (*fault.Schedule, error) { return fault.ParseSpec(s) }
+
+// ParseSampling overlays the shared -sampling spec onto a profiler
+// configuration: a comma-separated list of
+//
+//	interval=<N>  sampling interval in accesses per sample
+//	jitter=<F>    relative noise magnitude at one expected sample
+//	seed=<N>      noise stream seed
+//	window=<N>    profiling window in executions per kind
+//	adaptive      enable margin-driven adaptive sampling
+//
+// "" returns cfg unchanged, so callers can pass the flag through
+// unconditionally.
+func ParseSampling(s string, cfg prof.Config) (prof.Config, error) {
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if part == "adaptive" {
+			cfg.Adaptive = true
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad sampling option %q (want key=value or adaptive)", part)
+		}
+		switch k {
+		case "interval":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("bad sampling interval %q", v)
+			}
+			cfg.SamplingInterval = n
+		case "jitter":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return cfg, fmt.Errorf("bad sampling jitter %q", v)
+			}
+			cfg.Jitter = f
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("bad sampling seed %q", v)
+			}
+			cfg.Seed = n
+		case "window":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("bad sampling window %q", v)
+			}
+			cfg.Window = n
+		default:
+			return cfg, fmt.Errorf("unknown sampling option %q", k)
+		}
+	}
+	return cfg, nil
+}

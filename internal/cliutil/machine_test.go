@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/prof"
 )
 
 func TestMachineSpecDefaults(t *testing.T) {
@@ -108,5 +109,30 @@ func TestParseFaults(t *testing.T) {
 	}
 	if _, err := ParseFaults("rate=x"); err == nil {
 		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestParseSampling(t *testing.T) {
+	base := prof.DefaultConfig()
+	got, err := ParseSampling("interval=100000, jitter=0.4, seed=9, window=3, adaptive", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base
+	want.SamplingInterval = 100000
+	want.Jitter = 0.4
+	want.Seed = 9
+	want.Window = 3
+	want.Adaptive = true
+	if got != want {
+		t.Fatalf("ParseSampling = %+v, want %+v", got, want)
+	}
+	if got, err := ParseSampling("", base); err != nil || got != base {
+		t.Fatalf("empty spec must be a no-op: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"interval=0", "jitter=-1", "window=x", "bogus=1", "adaptive=maybe"} {
+		if _, err := ParseSampling(bad, base); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
 	}
 }

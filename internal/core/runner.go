@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/migrate"
 	"repro/internal/model"
+	"repro/internal/placement"
 	"repro/internal/prof"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -60,6 +61,10 @@ type Result struct {
 	// in response. Both are 0 without fault injection.
 	FaultEvents int
 	Quarantines int
+	// ProfileSamples is the profiler's cumulative expected sample count —
+	// the total sampling cost the run's profile accuracy was bought with.
+	// 0 for policies that do not profile.
+	ProfileSamples float64
 }
 
 // EDP returns the energy-delay product in joule-seconds.
@@ -188,6 +193,16 @@ type runner struct {
 	// migration cost.
 	exposureSince float64
 
+	// Adaptive-sampling scratch (nil unless cfg.Prof.Adaptive and the
+	// policy profiles): reusable item/margin buffers for the flip-margin
+	// query, per-object minimum relative margin, and a once-per-run guard
+	// so each kind's sampling rate is raised at most once.
+	adaptItems   []placement.Item
+	adaptMargins []float64
+	adaptObjRel  []float64
+	kindBoosted  []bool
+	adaptRounds  int
+
 	// Fault-injection state (all nil/zero without cfg.Faults, and every
 	// consumer is gated so the fault-free paths stay bit-identical).
 	flt *fault.Injector
@@ -256,6 +271,7 @@ func Run(g *task.Graph, cfg Config) (Result, error) {
 		DRAMHighWaterBytes:   r.highWater,
 		FaultEvents:          r.faultEvents,
 		Quarantines:          r.quarantines,
+		ProfileSamples:       r.profiler.SamplesTaken(),
 	}
 	res.EnergyDynamicJ, res.EnergyStaticJ = r.energy(end)
 	res.EnergyJ = res.EnergyDynamicJ + res.EnergyStaticJ
@@ -412,6 +428,10 @@ func (r *runner) setup() error {
 	r.promoBlock = make([]bool, r.st.TotalChunks())
 	if r.profilesKinds() {
 		r.pt = newPlannerState(r)
+		if r.cfg.Prof.Adaptive {
+			r.kindBoosted = make([]bool, nk)
+			r.adaptObjRel = make([]float64, nobj)
+		}
 	}
 
 	if r.cfg.NewQueue != nil {
@@ -700,6 +720,14 @@ func (r *runner) start(now float64, w int, t *task.Task) {
 		if coverage {
 			frac /= 4
 		}
+		if r.cfg.Prof.Adaptive {
+			// The adaptive profiler is rate-aware end to end: the
+			// profiling tax scales with the kind's sampling rate,
+			// anchored at the default interval ProfilingFrac was
+			// calibrated for. Gated on Adaptive: the fixed-rate path
+			// keeps the flat calibrated fraction and stays bit-identical.
+			frac *= float64(prof.DefaultSamplingInterval) / float64(r.profiler.IntervalFor(t.Kind))
+		}
 		over := d.MemSec() * frac
 		fixed += over
 		r.overheadSec += over
@@ -971,12 +999,20 @@ func (r *runner) maybePlan(now float64) {
 			return
 		}
 	}
+	// Adaptive pre-plan gate: don't let the first plan commit off
+	// estimates whose noise could flip placements — densify the sensitive
+	// kinds and wait for their re-profile instead (bounded by
+	// adaptMaxRounds), so harmful migrations never enqueue.
+	if !r.planned && r.adaptPrecheck() {
+		return
+	}
 	if r.planned {
 		r.replans++
 	}
 	r.needReplan = false
 	r.lastPlanAt = r.completed
 	r.decidePlacement(now)
+	r.adaptSampling()
 }
 
 // checkDrift is the placement- and contention-aware duration drift

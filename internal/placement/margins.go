@@ -1,0 +1,115 @@
+package placement
+
+import "math"
+
+// Margins solves the same knapsack as Solve (hitting its memo on repeat
+// patterns) and returns, per item, a first-order estimate of how far the
+// item's weight sits from a membership flip: for a chosen item, the
+// smallest weight decrease that would push it out of the solution; for an
+// unchosen item, the smallest increase that would pull it in. The
+// estimate comes from the weight-density cut between the cheapest chosen
+// and the richest rejected candidate — the greedy view of the DP's
+// decision boundary — so it is a sensitivity heuristic, not an exact flip
+// distance; its job is to rank items by how much profile noise their
+// placement tolerates.
+//
+// Unchosen items that cannot fit at all get +Inf (no weight change flips
+// them). Margins are always >= 0; 0 means the item sits on the boundary.
+//
+// out is an optional reusable buffer; the result is written into it
+// (grown if needed) and returned, so steady-state callers allocate
+// nothing.
+func (s *Solver) Margins(items []Item, capacity, gran int64, out []float64) []float64 {
+	if gran <= 0 {
+		gran = DefaultGranularity
+	}
+	chosen := s.Solve(items, capacity, gran)
+	if cap(out) < len(items) {
+		out = make([]float64, len(items))
+	}
+	out = out[:len(items)]
+	cells := int(capacity / gran)
+
+	// The density cut: solution members lie above it, rejected candidates
+	// below. With no rejected positive candidate the capacity is not
+	// binding and the cut is zero — a chosen item then flips only by
+	// losing its whole weight.
+	minChosenD := math.Inf(1)
+	ci := 0
+	for i, it := range items {
+		inSet := ci < len(chosen) && chosen[ci] == i
+		if inSet {
+			ci++
+			if it.Size > 0 {
+				if d := it.Weight / float64(it.Size); d < minChosenD {
+					minChosenD = d
+				}
+			}
+		}
+	}
+	maxOutD := 0.0
+	haveOut := false
+	ci = 0
+	for i, it := range items {
+		if ci < len(chosen) && chosen[ci] == i {
+			ci++
+			continue
+		}
+		if it.Weight <= 0 || it.Size <= 0 {
+			continue
+		}
+		if c := int((it.Size + gran - 1) / gran); cells > 0 && c > cells {
+			continue // can never fit
+		}
+		if d := it.Weight / float64(it.Size); !haveOut || d > maxOutD {
+			maxOutD = d
+			haveOut = true
+		}
+	}
+	cut := 0.0
+	if haveOut && !math.IsInf(minChosenD, 1) {
+		cut = (minChosenD + maxOutD) / 2
+		if cut < 0 {
+			cut = 0
+		}
+	}
+
+	ci = 0
+	for i, it := range items {
+		inSet := ci < len(chosen) && chosen[ci] == i
+		if inSet {
+			ci++
+			// Distance to the cut, but never more than the whole weight: a
+			// weight at or below zero is never chosen regardless of density.
+			m := it.Weight
+			if it.Size > 0 {
+				if dm := (it.Weight/float64(it.Size) - cut) * float64(it.Size); dm < m {
+					m = dm
+				}
+			}
+			if m < 0 {
+				m = 0
+			}
+			out[i] = m
+			continue
+		}
+		if it.Size <= 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		if c := int((it.Size + gran - 1) / gran); cells <= 0 || c > cells {
+			out[i] = math.Inf(1)
+			continue
+		}
+		// Climb to just above the cut — and at least to positive weight.
+		m := cut*float64(it.Size) - it.Weight
+		if floor := -it.Weight; floor > m {
+			m = floor
+		}
+		if m < 0 {
+			m = 0
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const mb = int64(1 << 20)
+
+func TestMarginsAllFit(t *testing.T) {
+	s := NewSolver()
+	items := []Item{
+		{Size: 2 * mb, Weight: 0.4},
+		{Size: 3 * mb, Weight: 0.1},
+		{Size: 1 * mb, Weight: -0.2},
+	}
+	m := s.Margins(items, 100*mb, mb, nil)
+	// Capacity not binding: a chosen item flips only by losing its whole
+	// weight; the rejected negative item needs to climb back to zero.
+	if m[0] != 0.4 || m[1] != 0.1 {
+		t.Fatalf("all-fit margins = %v, want whole weights", m[:2])
+	}
+	if m[2] != 0.2 {
+		t.Fatalf("negative item margin = %g, want 0.2", m[2])
+	}
+}
+
+func TestMarginsTightCapacity(t *testing.T) {
+	s := NewSolver()
+	// Capacity for one: densities 0.8 vs 0.2 per MB-equivalent.
+	items := []Item{
+		{Size: 4 * mb, Weight: 3.2},
+		{Size: 4 * mb, Weight: 0.8},
+	}
+	chosen := s.Solve(items, 4*mb, mb)
+	if len(chosen) != 1 || chosen[0] != 0 {
+		t.Fatalf("chosen = %v", chosen)
+	}
+	m := s.Margins(items, 4*mb, mb, nil)
+	// Cut density is (0.8+0.2)/2 = 0.5 per 1MB cell; the winner is
+	// (0.8-0.5)*4MB = 1.2 above it, the loser (0.5-0.2)*4MB = 1.2 below.
+	if math.Abs(m[0]-1.2) > 1e-9 || math.Abs(m[1]-1.2) > 1e-9 {
+		t.Fatalf("margins = %v, want 1.2 each", m)
+	}
+}
+
+func TestMarginsOversizeNeverFlips(t *testing.T) {
+	s := NewSolver()
+	items := []Item{
+		{Size: 1 * mb, Weight: 1},
+		{Size: 50 * mb, Weight: 5}, // cannot fit
+	}
+	m := s.Margins(items, 4*mb, mb, nil)
+	if !math.IsInf(m[1], 1) {
+		t.Fatalf("oversize item margin = %g, want +Inf", m[1])
+	}
+}
+
+func TestMarginsNonNegativeAndReusesBuffer(t *testing.T) {
+	s := NewSolver()
+	rng := rand.New(rand.NewSource(42))
+	var buf []float64
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Size:   int64(1+rng.Intn(8)) * mb,
+				Weight: rng.Float64()*4 - 1,
+			}
+		}
+		capacity := int64(1+rng.Intn(12)) * mb
+		buf = s.Margins(items, capacity, mb, buf)
+		if len(buf) != n {
+			t.Fatalf("margins length %d for %d items", len(buf), n)
+		}
+		for i, m := range buf {
+			if m < 0 || math.IsNaN(m) {
+				t.Fatalf("trial %d: margin[%d] = %g", trial, i, m)
+			}
+		}
+	}
+}
+
+// The margin ranks sensitivity: in a two-candidate race, shrinking the
+// winner's weight by clearly more than its margin must flip the solution.
+func TestMarginFlipConsistency(t *testing.T) {
+	s := NewSolver()
+	items := []Item{
+		{Size: 4 * mb, Weight: 3.2},
+		{Size: 4 * mb, Weight: 0.8},
+	}
+	m := s.Margins(items, 4*mb, mb, nil)
+	perturbed := []Item{
+		{Size: 4 * mb, Weight: items[0].Weight - 2.1*m[0]},
+		{Size: 4 * mb, Weight: 0.8},
+	}
+	chosen := s.Solve(perturbed, 4*mb, mb)
+	if len(chosen) != 1 || chosen[0] != 1 {
+		t.Fatalf("perturbing beyond the margin did not flip: chosen %v", chosen)
+	}
+}
+
+func TestMarginsHitSolverMemo(t *testing.T) {
+	s := NewSolver()
+	items := []Item{
+		{Size: 4 * mb, Weight: 3.2},
+		{Size: 4 * mb, Weight: 0.8},
+	}
+	s.Solve(items, 4*mb, mb)
+	misses := s.Misses
+	s.Margins(items, 4*mb, mb, nil)
+	if s.Misses != misses {
+		t.Fatal("Margins re-ran the DP for a memoized pattern")
+	}
+}

@@ -7,9 +7,20 @@
 //
 // The emulation injects what real sampling injects: a systematic
 // undercount (the constant factors CF_bw/CF_lat exist to calibrate it
-// away) and deterministic per-(task, object) jitter. All noise derives
-// from a splitmix64 hash of (seed, task, object), so profiles are
-// reproducible and independent of execution order.
+// away) and deterministic jitter whose magnitude depends on the sampling
+// rate — Jitter/sqrt(expected samples), widening without bound as the
+// expected sample count drops below one (capped at MaxRelError), which is
+// the law-of-large-numbers behaviour of real sampled counters. All noise
+// derives from a splitmix64 hash of (seed, kind, object, observation
+// index), so profiles are reproducible and independent of execution
+// order: the same multiset of observations produces bit-identical
+// estimates no matter which task instances landed in the window or how
+// their access lists were ordered.
+//
+// Sampling rates are per task kind: SetKindInterval lets the runtime's
+// adaptive controller densify sampling only for the kinds whose placement
+// is noise-sensitive, and SamplesTaken totals the expected sample count
+// so that rate choices have a visible cost.
 package prof
 
 import (
@@ -27,7 +38,9 @@ type Config struct {
 	// Bias is the systematic fraction of true traffic the sampled counts
 	// capture (< 1: sampling undercounts). CF calibration corrects it.
 	Bias float64
-	// Jitter is the relative magnitude of per-observation noise.
+	// Jitter is the relative magnitude of per-observation noise at one
+	// expected sample; the effective relative error is
+	// Jitter/sqrt(expected samples) (see RelError).
 	Jitter float64
 	// Seed makes all noise deterministic.
 	Seed uint64
@@ -35,18 +48,37 @@ type Config struct {
 	// the kind is considered known (the paper profiles the first two
 	// iterations of the main loop).
 	Window int
+	// Adaptive enables the runtime's margin-driven sampling controller:
+	// after each plan, kinds whose objects sit within profile noise of a
+	// placement flip get a densified sampling interval and a re-profile.
+	// Off by default; fixed-rate runs are bit-identical to builds that
+	// predate the controller.
+	Adaptive bool
 }
+
+// DefaultSamplingInterval is the paper's PEBS-class sampling rate — and
+// the rate the runtime's profiling-overhead fraction is calibrated at.
+const DefaultSamplingInterval = 1000
 
 // DefaultConfig matches the paper's setup: 1000-access sampling interval,
 // a mild undercount, and a two-execution profiling window.
 func DefaultConfig() Config {
 	return Config{
-		SamplingInterval: 1000,
+		SamplingInterval: DefaultSamplingInterval,
 		Bias:             0.92,
 		Jitter:           0.05,
 		Seed:             1,
 		Window:           2,
 	}
+}
+
+// Exact returns the configuration with sampling noise and adaptation
+// disabled — the ground-truth profiler that regret harnesses plan from.
+// Bias stays: it is systematic, and calibration absorbs it either way.
+func (c Config) Exact() Config {
+	c.Jitter = 0
+	c.Adaptive = false
+	return c
 }
 
 // splitmix64 is the standard 64-bit mix function; deterministic noise
@@ -58,31 +90,70 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// hashKind is FNV-1a over the kind name, the string half of the noise key.
+func hashKind(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // unitNoise maps a hash to a deterministic value in [-1, 1).
 func unitNoise(h uint64) float64 {
 	return float64(h>>11)/float64(1<<53)*2 - 1
 }
 
+// MaxRelError caps the modeled relative error of a single observation: a
+// count estimated from a vanishing fraction of one expected sample is
+// garbage, but bounded garbage (the estimate cannot go negative and the
+// profiler still averages over the window).
+const MaxRelError = 1.0
+
+// minExpectedSamples floors the sample count inside RelError so the
+// error stays finite as counts shrink toward zero.
+const minExpectedSamples = 1.0 / 1024
+
+// RelError returns the modeled relative error magnitude of one sampled
+// observation of trueCount events at the given sampling interval:
+// Jitter/sqrt(expected samples). Unlike hardware, the emulation knows the
+// true count; callers estimating their own error from sampled counts get
+// the same monotone behaviour. The error keeps widening below one
+// expected sample — a fraction of one sample cannot produce a tight
+// estimate — up to MaxRelError.
+func (c Config) RelError(trueCount, interval int64) float64 {
+	if trueCount <= 0 || c.Jitter <= 0 {
+		return 0
+	}
+	if interval <= 0 {
+		interval = 1000
+	}
+	samples := float64(trueCount) / float64(interval)
+	if samples < minExpectedSamples {
+		samples = minExpectedSamples
+	}
+	rel := c.Jitter / math.Sqrt(samples)
+	if rel > MaxRelError {
+		rel = MaxRelError
+	}
+	return rel
+}
+
 // Sample exposes the sampling emulation for offline calibration: it
 // returns the sampled estimate of a true event count, keyed for
-// deterministic noise.
+// deterministic noise, at the configuration's base sampling interval.
 func (c Config) Sample(trueCount int64, key uint64) int64 {
-	return c.sampleCount(trueCount, splitmix64(c.Seed^key))
+	return c.sampleCount(trueCount, c.SamplingInterval, splitmix64(c.Seed^key))
 }
 
 // sampleCount emulates counter sampling of a true event count: apply the
-// systematic bias, then jitter shrinking with the number of samples taken
-// (more samples, tighter estimate — the law-of-large-numbers behaviour of
-// real sampled counters).
-func (c Config) sampleCount(trueCount int64, h uint64) int64 {
+// systematic bias, then rate-dependent jitter per RelError.
+func (c Config) sampleCount(trueCount, interval int64, h uint64) int64 {
 	if trueCount <= 0 {
 		return 0
 	}
-	samples := float64(trueCount) / float64(c.SamplingInterval)
-	rel := c.Jitter
-	if samples > 1 {
-		rel = c.Jitter / math.Sqrt(samples)
-	}
+	rel := c.RelError(trueCount, interval)
 	est := float64(trueCount) * c.Bias * (1 + rel*unitNoise(h))
 	if est < 0 {
 		est = 0
@@ -138,6 +209,15 @@ type accum struct {
 	// variance (halo vs main-operand roles, boundary tasks) from a
 	// genuine shift in the kind's behaviour.
 	mad float64
+	// noiseBase seeds the pair's noise stream; each observation hashes it
+	// with its index, so noise is a function of (seed, kind, object,
+	// observation count) and never of which task instance was observed.
+	noiseBase uint64
+	// ivl is the sampling interval the pair's observations were taken at
+	// (the kind's interval at last Record), so RelErrorFor reports the
+	// error of the stored estimate even after a boosted kind returns to
+	// its base rate.
+	ivl int64
 }
 
 // kindAccum aggregates a kind's traffic per object byte, the basis of
@@ -162,6 +242,17 @@ type Profiler struct {
 	stale map[string]bool
 	// slow counts consecutive slower-than-threshold observations.
 	slow map[string]int
+	// kindIvl holds per-kind sampling-interval overrides (adaptive
+	// densification); kinds not present sample at cfg.SamplingInterval.
+	// Overrides survive MarkStale on purpose — a densified re-profile is
+	// the whole point of boosting a kind.
+	kindIvl map[string]int64
+	// samples accumulates the expected sample count of every recorded
+	// observation — the profiling cost the sampling rate buys accuracy
+	// with.
+	samples float64
+	// ord is reusable scratch for canonical observation ordering.
+	ord []int32
 }
 
 // New returns a Profiler with the given configuration.
@@ -183,6 +274,7 @@ func New(cfg Config) *Profiler {
 		kindDur:   make(map[string]float64),
 		stale:     make(map[string]bool),
 		slow:      make(map[string]int),
+		kindIvl:   make(map[string]int64),
 	}
 }
 
@@ -194,11 +286,61 @@ func (p *Profiler) Profiled(kind string) bool {
 // Seen reports whether the kind has been observed at all.
 func (p *Profiler) Seen(kind string) bool { return p.kindExecs[kind] > 0 }
 
+// BaseInterval returns the configuration's (normalized) sampling interval.
+func (p *Profiler) BaseInterval() int64 { return p.cfg.SamplingInterval }
+
+// IntervalFor returns the sampling interval in effect for a kind.
+func (p *Profiler) IntervalFor(kind string) int64 {
+	if ivl, ok := p.kindIvl[kind]; ok {
+		return ivl
+	}
+	return p.cfg.SamplingInterval
+}
+
+// SetKindInterval overrides one kind's sampling interval (smaller =
+// denser = tighter estimates at higher profiling cost). The override
+// persists across MarkStale so the densified re-profile it was set for
+// actually happens at the new rate.
+func (p *Profiler) SetKindInterval(kind string, interval int64) {
+	if interval <= 0 {
+		interval = 1
+	}
+	p.kindIvl[kind] = interval
+}
+
+// SamplesTaken returns the cumulative expected sample count across every
+// recorded observation — the total profiling cost of the run.
+func (p *Profiler) SamplesTaken() float64 { return p.samples }
+
+// RelErrorFor estimates the current relative error of a pair's stored
+// count estimate: the single-observation error at the kind's sampling
+// rate, shrunk by the window's averaging. Pairs with no direct
+// observation fall back to the kind's per-byte aggregate — mirroring the
+// estimate EstimateFor would serve for them — and are infinite only when
+// the kind itself has never been seen.
+func (p *Profiler) RelErrorFor(kind string, obj task.ObjectID) float64 {
+	if a := p.stats[key{kind, obj}]; a != nil && a.execs > 0 {
+		count := int64((a.loads + a.stores) / p.cfg.Bias)
+		return p.cfg.RelError(count, a.ivl) / math.Sqrt(float64(a.execs))
+	}
+	ka := p.kindStats[kind]
+	if ka == nil || ka.n == 0 || ka.obsBytes <= 0 {
+		return math.Inf(1)
+	}
+	count := int64((ka.loads + ka.stores) / float64(ka.n) / p.cfg.Bias)
+	return p.cfg.RelError(count, p.IntervalFor(kind)) / math.Sqrt(float64(ka.n))
+}
+
 // Record ingests one profiled execution, applying sampling emulation.
 // It returns the largest relative deviation between this execution's
 // sampled counts and the previously stored per-pair estimates (0 when no
 // prior estimate existed): the count-level drift signal periodic audits
 // use to detect workload variation without any duration heuristics.
+//
+// Observations are folded in ascending object order regardless of how
+// e.Obs is laid out, so both the noise stream and the (order-sensitive)
+// float accumulation depend only on the multiset of observations — the
+// package's order-independence promise.
 func (p *Profiler) Record(e Exec) (maxRelDev float64) {
 	p.kindExecs[e.Kind]++
 	n := float64(p.kindExecs[e.Kind])
@@ -206,20 +348,37 @@ func (p *Profiler) Record(e Exec) (maxRelDev float64) {
 	if p.stale[e.Kind] && p.kindExecs[e.Kind] >= p.cfg.Window {
 		delete(p.stale, e.Kind)
 	}
-	for _, o := range e.Obs {
-		h := splitmix64(p.cfg.Seed ^ uint64(e.TaskID)<<20 ^ uint64(o.Obj))
-		loads := p.cfg.sampleCount(o.Loads, h)
-		stores := p.cfg.sampleCount(o.Stores, splitmix64(h))
+	ivl := p.IntervalFor(e.Kind)
+	kh := splitmix64(p.cfg.Seed ^ hashKind(e.Kind))
+	ord := p.ord[:0]
+	for i := range e.Obs {
+		ord = append(ord, int32(i))
+	}
+	for i := 1; i < len(ord); i++ { // stable insertion sort by object ID
+		for j := i; j > 0 && e.Obs[ord[j]].Obj < e.Obs[ord[j-1]].Obj; j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	p.ord = ord
+	for _, oi := range ord {
+		o := &e.Obs[oi]
 		k := key{e.Kind, o.Obj}
 		a := p.stats[k]
 		if a == nil {
-			a = &accum{}
+			a = &accum{noiseBase: splitmix64(kh ^ uint64(o.Obj))}
 			p.stats[k] = a
 		}
-		if a.execs > 1 {
-			// Drift score: deviation from the pair's mean, measured
-			// against the larger of 3x its historical variability and
-			// half its mean; noise-scale pairs are ignored.
+		a.ivl = ivl
+		h := splitmix64(a.noiseBase ^ uint64(a.execs))
+		loads := p.cfg.sampleCount(o.Loads, ivl, h)
+		stores := p.cfg.sampleCount(o.Stores, ivl, splitmix64(h))
+		p.samples += float64(o.Loads+o.Stores) / float64(ivl)
+		if a.execs > 0 {
+			// Drift score against the pre-update mean: deviation measured
+			// by the larger of 3x the pair's historical variability and
+			// half its mean; noise-scale pairs are ignored. Scored from
+			// the pair's second observation on — a Window=2 kind can flag
+			// drift on its very next (third) execution.
 			mean := a.loads + a.stores
 			delta := absf(float64(loads+stores) - mean)
 			if mean > 100 || float64(loads+stores) > 100 {
@@ -233,10 +392,6 @@ func (p *Profiler) Record(e Exec) (maxRelDev float64) {
 					}
 				}
 			}
-		}
-		if a.execs > 0 {
-			mean := a.loads + a.stores
-			delta := absf(float64(loads+stores) - mean)
 			a.mad += (delta - a.mad) / float64(a.execs)
 		}
 		a.execs++
@@ -338,7 +493,10 @@ func absf(v float64) float64 {
 	return v
 }
 
-// MarkStale re-opens the profiling window for a kind.
+// MarkStale re-opens the profiling window for a kind. Per-kind sampling
+// overrides persist; the pair noise streams restart at observation zero
+// (re-profiling the same counts at the same rate reproduces the same
+// noise — determinism, not amnesia).
 func (p *Profiler) MarkStale(kind string) {
 	p.stale[kind] = true
 	p.kindExecs[kind] = 0

@@ -196,7 +196,7 @@ func TestSampleCountNonNegativeProperty(t *testing.T) {
 		}
 		n %= 1 << 40
 		cfg.Seed = seed
-		got := cfg.sampleCount(n, splitmix64(seed))
+		got := cfg.sampleCount(n, cfg.SamplingInterval, splitmix64(seed))
 		if got < 0 {
 			return false
 		}
@@ -211,6 +211,222 @@ func TestSampleCountNonNegativeProperty(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: low-rate error must widen. The old model clamped the
+// relative error at Jitter whenever the expected sample count was <= 1,
+// so sampling a small count every 1000 accesses and every 512000 accesses
+// produced equally tight estimates.
+func TestErrorGrowsWithSamplingInterval(t *testing.T) {
+	const trueCount = int64(500)
+	meanAbsErr := func(interval int64) float64 {
+		cfg := DefaultConfig()
+		cfg.SamplingInterval = interval
+		cfg.Jitter = 0.2
+		var sum float64
+		const trials = 256
+		for i := 0; i < trials; i++ {
+			cfg.Seed = uint64(i + 1)
+			got := cfg.Sample(trueCount, 12345)
+			sum += math.Abs(float64(got) - cfg.Bias*float64(trueCount))
+		}
+		return sum / trials / (cfg.Bias * float64(trueCount))
+	}
+	dense, sparse := meanAbsErr(1000), meanAbsErr(512000)
+	if sparse <= 1.5*dense {
+		t.Fatalf("error did not widen with the sampling interval: dense %.4f, sparse %.4f", dense, sparse)
+	}
+	// And the analytic error model agrees: monotone in the interval.
+	cfg := DefaultConfig()
+	prev := 0.0
+	for _, ivl := range []int64{1000, 4000, 16000, 64000, 512000} {
+		rel := cfg.RelError(trueCount, ivl)
+		if rel < prev {
+			t.Fatalf("RelError not monotone: %g at interval %d after %g", rel, ivl, prev)
+		}
+		if rel > MaxRelError {
+			t.Fatalf("RelError %g exceeds cap", rel)
+		}
+		prev = rel
+	}
+	if cfg.RelError(trueCount, 1000) >= cfg.RelError(trueCount, 512000) {
+		t.Fatal("sparse sampling not noisier than dense")
+	}
+}
+
+// Regression: the package doc promises profiles independent of execution
+// order, but noise used to be keyed on TaskID — reassigning which task
+// instances land in the window changed the profile.
+func TestNoiseIndependentOfTaskIDs(t *testing.T) {
+	run := func(ids []task.TaskID) (Estimate, Estimate) {
+		p := New(DefaultConfig())
+		for _, id := range ids {
+			p.Record(Exec{TaskID: id, Kind: "k", Duration: 0.01, Obs: []AccessObs{
+				{Obj: 0, Loads: 3e5, Stores: 1e5, TimeShare: 0.6},
+				{Obj: 1, Loads: 2e5, Stores: 4e4, TimeShare: 0.3},
+			}})
+		}
+		a, _ := p.Estimate("k", 0)
+		b, _ := p.Estimate("k", 1)
+		return a, b
+	}
+	a1, b1 := run([]task.TaskID{0, 1})
+	a2, b2 := run([]task.TaskID{17, 4096})
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("profile depends on task IDs: %+v/%+v vs %+v/%+v", a1, b1, a2, b2)
+	}
+}
+
+// Estimates must be invariant under the ordering of an execution's Obs
+// slice: the float accumulation and the noise stream both run in
+// canonical (object-ascending) order.
+func TestObsOrderInvariance(t *testing.T) {
+	obs := []AccessObs{
+		{Obj: 2, Loads: 3e5, Stores: 1e5, Size: 1 << 20, TimeShare: 0.5},
+		{Obj: 0, Loads: 2e5, Stores: 5e4, Size: 1 << 20, TimeShare: 0.3},
+		{Obj: 1, Loads: 9e4, Stores: 2e4, Size: 1 << 20, TimeShare: 0.2},
+	}
+	run := func(perm []int) [3]Estimate {
+		p := New(DefaultConfig())
+		for rep := 0; rep < 3; rep++ {
+			o := make([]AccessObs, len(perm))
+			for i, pi := range perm {
+				o[i] = obs[pi]
+			}
+			p.Record(Exec{TaskID: task.TaskID(rep), Kind: "k", Duration: 0.01, Obs: o})
+		}
+		var out [3]Estimate
+		for i := range out {
+			out[i], _ = p.Estimate("k", task.ObjectID(i))
+		}
+		return out
+	}
+	want := run([]int{0, 1, 2})
+	for _, perm := range [][]int{{1, 2, 0}, {2, 1, 0}, {0, 2, 1}, {2, 0, 1}, {1, 0, 2}} {
+		if got := run(perm); got != want {
+			t.Fatalf("estimates depend on Obs order: perm %v got %+v want %+v", perm, got, want)
+		}
+	}
+}
+
+// Regression: with Window=2, a pair observed in only one of the window's
+// executions could not contribute a drift score on the kind's third
+// execution — the score was gated on the pair's *third* observation while
+// the MAD updated from the second, an off-by-one that delayed detection
+// by a full execution.
+func TestDriftFlagsOnThirdExecution(t *testing.T) {
+	p := New(DefaultConfig())
+	// Window executions 1 and 2: object 1 appears only in the first.
+	p.Record(Exec{TaskID: 0, Kind: "k", Duration: 0.01, Obs: []AccessObs{
+		{Obj: 0, Loads: 1e6, TimeShare: 0.5},
+		{Obj: 1, Loads: 1e6, TimeShare: 0.5},
+	}})
+	p.Record(Exec{TaskID: 1, Kind: "k", Duration: 0.01, Obs: []AccessObs{
+		{Obj: 0, Loads: 1e6, TimeShare: 1},
+	}})
+	if !p.Profiled("k") {
+		t.Fatal("window not closed after two executions")
+	}
+	// Third execution: object 1's traffic tripled. This is the pair's
+	// second observation; it must score.
+	dev := p.Record(Exec{TaskID: 2, Kind: "k", Duration: 0.01, Obs: []AccessObs{
+		{Obj: 1, Loads: 3e6, TimeShare: 1},
+	}})
+	if dev <= 1 {
+		t.Fatalf("3x count shift on the third execution scored %g, want > 1", dev)
+	}
+}
+
+// Property: the per-byte kind fallback converges to the exact-pair
+// estimate as observations accumulate (both average toward the biased
+// truth), and stays within a few percent once the window is deep.
+func TestKindFallbackConvergence(t *testing.T) {
+	const size = int64(1 << 20)
+	const loads, stores = int64(1e6), int64(2e5)
+	diffAfter := func(execs int) float64 {
+		p := New(DefaultConfig())
+		for i := 0; i < execs; i++ {
+			p.Record(Exec{TaskID: task.TaskID(i), Kind: "k", Duration: 0.01, Obs: []AccessObs{
+				{Obj: 0, Loads: loads, Stores: stores, Size: size, TimeShare: 0.5},
+				{Obj: task.ObjectID(1 + i), Loads: loads, Stores: stores, Size: size, TimeShare: 0.5},
+			}})
+		}
+		exact, ok := p.Estimate("k", 0)
+		if !ok {
+			t.Fatal("no exact estimate")
+		}
+		// Object 999999 was never observed: served by the kind fallback.
+		fb, ok := p.EstimateFor("k", 999999, size)
+		if !ok {
+			t.Fatal("no fallback estimate")
+		}
+		return math.Abs(fb.Loads-exact.Loads) / exact.Loads
+	}
+	shallow, deep := diffAfter(3), diffAfter(96)
+	if deep > 0.03 {
+		t.Fatalf("fallback did not converge to the exact-pair estimate: %.4f after 96 executions", deep)
+	}
+	if deep >= shallow && shallow > 0.005 {
+		t.Fatalf("fallback error did not shrink with observations: %.4f -> %.4f", shallow, deep)
+	}
+}
+
+func TestPerKindIntervalAndSampleAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Jitter = 0.5
+	p := New(cfg)
+	if p.IntervalFor("k") != cfg.SamplingInterval {
+		t.Fatal("unset kind does not use the base interval")
+	}
+	p.Record(exec(0, "k", 0.01, 1e5, 0, 1))
+	if got, want := p.SamplesTaken(), 1e5/float64(cfg.SamplingInterval); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SamplesTaken = %g, want %g", got, want)
+	}
+	coarse := p.RelErrorFor("k", 0)
+	p.SetKindInterval("k", cfg.SamplingInterval/8)
+	if p.IntervalFor("k") != cfg.SamplingInterval/8 {
+		t.Fatal("override not applied")
+	}
+	// The error reports the rate the estimate was *taken* at, so the
+	// override alone changes nothing until a densified re-profile lands.
+	if got := p.RelErrorFor("k", 0); got != coarse {
+		t.Fatalf("override changed the stored estimate's error: %g -> %g", coarse, got)
+	}
+	// The override survives a re-profile — that is what it exists for.
+	p.MarkStale("k")
+	if p.IntervalFor("k") != cfg.SamplingInterval/8 {
+		t.Fatal("override lost across MarkStale")
+	}
+	if math.IsInf(p.RelErrorFor("k", 0), 1) != true {
+		t.Fatal("stale pair should have unbounded error")
+	}
+	before := p.SamplesTaken()
+	p.Record(exec(1, "k", 0.01, 1e5, 0, 1))
+	gotDelta := p.SamplesTaken() - before
+	if want := 1e5 / float64(cfg.SamplingInterval/8); math.Abs(gotDelta-want) > 1e-9 {
+		t.Fatalf("densified recording cost %g samples, want %g", gotDelta, want)
+	}
+	if dense := p.RelErrorFor("k", 0); dense >= coarse {
+		t.Fatalf("densified re-profile did not tighten the error: %g -> %g", coarse, dense)
+	}
+}
+
+func TestExactConfigDisablesNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Adaptive = true
+	e := cfg.Exact()
+	if e.Jitter != 0 || e.Adaptive {
+		t.Fatalf("Exact() = %+v, want jitter 0 and adaptive off", e)
+	}
+	if e.Bias != cfg.Bias || e.SamplingInterval != cfg.SamplingInterval {
+		t.Fatal("Exact() must keep bias and interval")
+	}
+	p := New(e)
+	p.Record(exec(0, "k", 0.01, 1e5, 3e4, 1))
+	est, _ := p.Estimate("k", 0)
+	if est.Loads != e.Bias*1e5 || est.Stores != e.Bias*3e4 {
+		t.Fatalf("noise-free estimate %+v not exactly biased truth", est)
 	}
 }
 

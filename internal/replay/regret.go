@@ -1,0 +1,52 @@
+package replay
+
+import (
+	"repro/internal/core"
+	"repro/internal/task"
+)
+
+// RegretResult pairs the two legs of a placement-regret measurement.
+type RegretResult struct {
+	// Perfect is the ground-truth leg: the run recorded with the noise
+	// model disabled, whose plan saw exact profiles.
+	Perfect core.Result
+	// Noisy is the counterfactual leg: the same pinned schedule, planned
+	// from profiles under the configuration's noise model.
+	Noisy core.Result
+}
+
+// Regret is the makespan ratio noisy/perfect: 1.0 means the noisy plan
+// lost nothing; 1.15 means noise cost 15% of the perfect-information
+// makespan. Values slightly below 1 are possible when a misestimate
+// happens to help.
+func (rr RegretResult) Regret() float64 {
+	if rr.Perfect.Time <= 0 {
+		return 1
+	}
+	return rr.Noisy.Time / rr.Perfect.Time
+}
+
+// PlacementRegret isolates what profiling noise costs the *placement
+// decisions*, free of scheduling luck: it records a run with the noise
+// model disabled (cfg.Prof.Exact() — the perfect-information plan), then
+// replays the recorded schedule once with the configured noisy profiler.
+// The pinned pop order (sched.Recorded) makes placement the sole varying
+// factor between the legs, so Regret() reads directly as the price of
+// planning from noisy profiles under this policy and sampling rate.
+func PlacementRegret(g *task.Graph, cfg core.Config) (RegretResult, error) {
+	exact := cfg
+	exact.Prof = cfg.Prof.Exact()
+	perfect, rec, err := Record(g, exact)
+	if err != nil {
+		return RegretResult{}, err
+	}
+	noisy := cfg
+	// The recording may live in the caller-provided trace buffer; the
+	// counterfactual leg must not scribble over it.
+	noisy.Trace = nil
+	res, err := Replay(g, noisy, rec)
+	if err != nil {
+		return RegretResult{}, err
+	}
+	return RegretResult{Perfect: perfect, Noisy: res}, nil
+}

@@ -1,0 +1,54 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPlacementRegretNoiseFree: with the noise model already off, both
+// legs run the same plan over the same pinned schedule — regret is
+// exactly 1 and the legs agree on every placement-visible statistic.
+func TestPlacementRegretNoiseFree(t *testing.T) {
+	g := buildGraph(t, "cg")
+	cfg := testConfig(core.Tahoe)
+	cfg.Prof.Jitter = 0
+	rr, err := PlacementRegret(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Regret() != 1 {
+		t.Fatalf("noise-free regret = %v, want exactly 1", rr.Regret())
+	}
+	if rr.Perfect.Migration != rr.Noisy.Migration {
+		t.Fatalf("noise-free legs diverged:\nperfect %+v\nnoisy   %+v",
+			rr.Perfect.Migration, rr.Noisy.Migration)
+	}
+}
+
+// TestPlacementRegretUnderNoise: sparse, heavily jittered profiling must
+// produce measurable regret on a pressure-sensitive workload, and the
+// perfect leg must match an ordinary exact-profile run (the recorded
+// result *is* the ground truth, by replay fidelity).
+func TestPlacementRegretUnderNoise(t *testing.T) {
+	g := buildGraph(t, "heat")
+	cfg := testConfig(core.Tahoe)
+	cfg.Prof.Jitter = 0.8
+	cfg.Prof.SamplingInterval = 1 << 21
+	rr, err := PlacementRegret(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Regret() < 0.9 || rr.Regret() > 3 {
+		t.Fatalf("regret %v outside sane range", rr.Regret())
+	}
+	exact := cfg
+	exact.Prof = cfg.Prof.Exact()
+	ref, err := core.Run(g, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Perfect != ref {
+		t.Fatalf("perfect leg differs from a plain exact run:\nleg %+v\nref %+v", rr.Perfect, ref)
+	}
+}

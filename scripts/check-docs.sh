@@ -46,6 +46,7 @@ Replay internals (record once, vary placement)
 Fault model & degraded modes
 Memory layout & allocation discipline
 Service architecture (placement as a service)
+Profiler fidelity & adaptive sampling
 EOF
 
 if [ "$bad" -ne 0 ]; then
