@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/fault"
+	"repro/internal/feedback"
 	"repro/internal/heap"
 	"repro/internal/placement"
 	"repro/internal/prof"
@@ -321,6 +322,26 @@ func BenchmarkE17_Replay(b *testing.B)           { benchExperiment(b, "E17") }
 // BenchmarkE20_ProfNoiseRegret regenerates the placement-regret grid
 // (each cell is a record + pinned replay pair).
 func BenchmarkE20_ProfNoiseRegret(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21_Feedback regenerates the feedback-replanning grid (one
+// exact-model reference recording per workload, replayed per injected
+// calibration error with the correction loop off and on).
+func BenchmarkE21_Feedback(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkFeedbackObserve measures one observed-vs-predicted ingest.
+// allocs/op is gated at zero: Observe runs for every distinct (kind,
+// object) pair on every task completion while the loop is enabled, so
+// like prof.Record it must stay allocation-free in steady state.
+func BenchmarkFeedbackObserve(b *testing.B) {
+	e := feedback.New(feedback.DefaultConfig(), 4, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate a drifting pair with a calm one so both the
+		// correction-update and deadband paths are on the clock.
+		e.Observe(i&3, task.ObjectID(i&63), 1e-3*float64(1+i&7), 1e-3)
+	}
+}
 
 // BenchmarkProfilerRecord measures one profiled-execution ingest on the
 // runtime's hot completion path — noise synthesis, canonical-order

@@ -54,6 +54,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "with -record: also export the event log as CSV here")
 		faults   = flag.String("faults", "", `fault schedule for -record/-check, e.g. "rate=1,seed=7,horizon=2"`)
 		sampling = flag.String("sampling", "", `profiler sampling, e.g. "interval=100000,jitter=0.4,adaptive" ("" = defaults)`)
+		feedback = flag.String("feedback", "", `observed-vs-predicted correction loop, e.g. "on" or "on,budget=6" ("" = off)`)
 	)
 	flag.Parse()
 
@@ -107,6 +108,11 @@ func main() {
 			fail("%v", err)
 		} else {
 			cfg.Prof = pc
+		}
+		if fc, err := cliutil.ParseFeedback(*feedback, cfg.Feedback); err != nil {
+			fail("%v", err)
+		} else {
+			cfg.Feedback = fc
 		}
 		return cfg
 	}

@@ -30,6 +30,7 @@ func main() {
 		calibrate = flag.Bool("calibrate", true, "calibrate model constant factors first")
 		faults    = flag.String("faults", "", `fault schedule, e.g. "rate=1,seed=7,horizon=2" ("" = none)`)
 		sampling  = flag.String("sampling", "", `profiler sampling, e.g. "interval=100000,jitter=0.4,adaptive" ("" = defaults)`)
+		feedback  = flag.String("feedback", "", `observed-vs-predicted correction loop, e.g. "on" or "on,alpha=0.25,budget=6" ("" = off)`)
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -72,6 +73,11 @@ func main() {
 		fail("%v", err)
 	} else {
 		cfg.Prof = pc
+	}
+	if fc, err := cliutil.ParseFeedback(*feedback, cfg.Feedback); err != nil {
+		fail("%v", err)
+	} else {
+		cfg.Feedback = fc
 	}
 	if *calibrate {
 		f, err := tahoe.Calibrate(h, tahoe.DefaultProfiler())
@@ -119,6 +125,10 @@ func main() {
 	if *sampling != "" {
 		fmt.Printf("sampling    interval %d, jitter %g, adaptive %v (%.0f samples taken)\n",
 			cfg.Prof.SamplingInterval, cfg.Prof.Jitter, cfg.Prof.Adaptive, res.ProfileSamples)
+	}
+	if *feedback != "" {
+		fmt.Printf("feedback    %d active corrections, %d feedback replans\n",
+			res.FeedbackCorrections, res.FeedbackReplans)
 	}
 	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, machine.DRAMMB)
 }

@@ -1,0 +1,128 @@
+package tahoe
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/replay"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+func init() {
+	registerExperiment(Experiment{"E21", "Feedback-driven replanning under injected model error", expE21})
+}
+
+// e21Error is one injected model-error mode: the calibrated constant
+// factors are scaled so the planner's view of the machine is wrong while
+// the simulated truth is unchanged — exactly the error class the
+// feedback loop's observed-vs-predicted factors can see and re-profiling
+// cannot (a fresh profile evaluated through the same wrong calibration
+// reproduces the same wrong benefit).
+type e21Error struct {
+	name     string
+	bwScale  float64
+	latScale float64
+}
+
+// expE21 closes the loop E20 measured: where E20 priced what noisy
+// *profiles* cost the planner, E21 prices what a wrong *model* costs —
+// and how much of that price the feedback corrections win back. Each
+// cell records one reference schedule under the exact model (exact
+// profiles, calibrated factors), then replays it per injected error
+// with the feedback loop off and on (replay.RegretBetween's
+// record-once/replay-many shape, inlined so the reference leg is paid
+// once per workload). The pinned pop order makes placement the sole
+// varying factor, so Off/On regret read directly as the price of the
+// model error and the corrected price.
+//
+// The grid is chosen to show the mechanism's reach and its limits:
+// fft's mixed bandwidth/latency object population is where a uniform
+// calibration error genuinely reorders the knapsack (feedback recovers
+// the gap); heat's single-kind uniform population is the null cell —
+// deflating every weight by the same factor changes no capacity-bound
+// ranking, so there is little to recover; wave adds kind-duration drift
+// on top, where corrections arrive only as fast as the EWMA warms up.
+func expE21(opt ExpOptions) (*Table, error) {
+	t := report.New("E21", "Feedback-driven replanning under injected model error (1/4-bandwidth NVM, 96 MB DRAM)",
+		"Workload", "Error", "Off regret", "On regret", "Recovered", "Corrections", "Replans")
+	// Three-quarter-size DRAM keeps the knapsack capacity-bound: with the
+	// full expDRAM every candidate fits and a wrong ranking costs nothing.
+	h := mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.25), 96*mem.MB)
+	errors := []e21Error{
+		{"none", 1, 1},
+		{"bw/8", 1.0 / 8, 1},
+		{"bw*8", 8, 1},
+		{"lat*8", 1, 8},
+	}
+	if opt.Quick {
+		errors = []e21Error{{"none", 1, 1}, {"bw/8", 1.0 / 8, 1}}
+	}
+	apps := e21Apps()
+	rows, err := runCells(opt, len(apps), func(i int) ([][]string, error) {
+		s := apps[i]
+		g := buildApp(s, opt)
+		ref := expConfig(h, core.Tahoe)
+		ref.Prof = ref.Prof.Exact()
+		refRes, rec, err := replay.Record(g, ref)
+		if err != nil {
+			return nil, fmt.Errorf("tahoe: E21 %s record: %v", s.Name, err)
+		}
+		var out [][]string
+		for ei, e := range errors {
+			leg := func(fb bool) core.Result {
+				cfg := ref
+				cfg.CFBw *= e.bwScale
+				cfg.CFLat *= e.latScale
+				cfg.Feedback.Enabled = fb
+				cfg.Trace = nil
+				res, err := replay.Replay(g, cfg, rec)
+				if err != nil {
+					panic(fmt.Sprintf("tahoe: E21 %s/%s: %v", s.Name, e.name, err))
+				}
+				return res
+			}
+			off := leg(false)
+			on := leg(true)
+			name := s.Name
+			if ei > 0 {
+				name = ""
+			}
+			recovered := "-"
+			if gap := off.Time - refRes.Time; gap > 0.005*refRes.Time {
+				recovered = fmt.Sprintf("%.0f%%", 100*(off.Time-on.Time)/gap)
+			}
+			out = append(out, []string{name, e.name,
+				report.Norm(off.Time, refRes.Time),
+				report.Norm(on.Time, refRes.Time),
+				recovered,
+				report.Int(on.FeedbackCorrections),
+				report.Int(on.FeedbackReplans)})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	addRows(t, rows)
+	t.Note("regret = replayed-leg makespan / exact-model recorded makespan over the same pinned schedule (replay-pinned, like E20)")
+	t.Note("errors scale the calibrated CF_bw/CF_lat the planner and the feedback predictor see; the simulated machine is unchanged")
+	t.Note("Recovered = (off - on) / (off - exact) where the error hurt by > 0.5%%; '-' marks cells with nothing to recover")
+	t.Note("Corrections/Replans are the feedback-on leg's active factors and feedback-triggered replans")
+	return t, nil
+}
+
+// e21Apps picks the three workloads that span the mechanism's behaviour
+// (see expE21's doc); the reference recording makes each cell cost
+// 1 + 2 x len(errors) runs, so the grid stays deliberately small.
+func e21Apps() []workloads.Spec {
+	var out []workloads.Spec
+	for _, s := range workloads.Apps() {
+		switch s.Name {
+		case "fft", "heat", "wave":
+			out = append(out, s)
+		}
+	}
+	return out
+}

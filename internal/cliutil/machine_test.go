@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/feedback"
 	"repro/internal/mem"
 	"repro/internal/prof"
 )
@@ -132,6 +133,34 @@ func TestParseSampling(t *testing.T) {
 	}
 	for _, bad := range []string{"interval=0", "jitter=-1", "window=x", "bogus=1", "adaptive=maybe"} {
 		if _, err := ParseSampling(bad, base); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseFeedback(t *testing.T) {
+	base := feedback.Config{}
+	got, err := ParseFeedback("on, alpha=0.25, deadband=1.5, threshold=0.75, budget=6", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := feedback.Config{Enabled: true, Alpha: 0.25, Deadband: 1.5, ReplanThreshold: 0.75, ReplanBudget: 6}
+	if got != want {
+		t.Fatalf("ParseFeedback = %+v, want %+v", got, want)
+	}
+	// A bare "on" enables with zero-valued (default-resolving) knobs.
+	if got, err := ParseFeedback("on", base); err != nil || !got.Enabled || got != (feedback.Config{Enabled: true}) {
+		t.Fatalf("bare on -> %+v, %v", got, err)
+	}
+	// Any non-empty spec enables, even knobs-only.
+	if got, err := ParseFeedback("alpha=0.5", base); err != nil || !got.Enabled {
+		t.Fatalf("knobs-only spec did not enable: %+v, %v", got, err)
+	}
+	if got, err := ParseFeedback("", base); err != nil || got != base {
+		t.Fatalf("empty spec must be a no-op: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"alpha=0", "alpha=2", "deadband=-1", "threshold=x", "budget=lots", "bogus=1", "off"} {
+		if _, err := ParseFeedback(bad, base); err == nil {
 			t.Errorf("bad spec %q accepted", bad)
 		}
 	}

@@ -20,6 +20,13 @@ import (
 // densified and their profile reopened; everything comfortably inside
 // the margin keeps the cheap base rate. The result: accuracy is bought
 // where placement needs it, not everywhere.
+//
+// The controller buys accuracy; it cannot help when the model itself is
+// wrong — a miscalibrated constant factor reproduces the same wrong
+// benefit from an arbitrarily dense profile. That error class belongs
+// to the observed-vs-predicted feedback loop (feedback.go,
+// internal/feedback), which keeps the profile and rescales what the
+// planner derives from it instead.
 
 // adaptBoost is the minimum densification factor applied to a kind's
 // sampling interval when its noise exceeds a flip margin; the actual

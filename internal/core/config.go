@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/feedback"
 	"repro/internal/mem"
 	"repro/internal/prof"
 	"repro/internal/sched"
@@ -236,6 +237,10 @@ type Config struct {
 	Tech      Techniques
 	Prof      prof.Config
 	Overheads Overheads
+	// Feedback configures the observed-vs-predicted correction loop
+	// (profiling policies only). Disabled — the zero value — runs
+	// bit-identically to a build without the subsystem.
+	Feedback feedback.Config
 
 	// Lookahead is how many upcoming tasks (in submission order) the
 	// proactive migration scan covers.
@@ -303,6 +308,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Pinned policy needs a Pin selector")
 	}
 	if err := c.Faults.Validate(c.HMS.NumTiers()); err != nil {
+		return err
+	}
+	if err := c.Feedback.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -367,13 +367,21 @@ func (p *plannerState) refreshTotals(r *runner) {
 // benefitPerExec returns the modeled seconds saved per execution of kind
 // if obj were DRAM-resident instead of NVM-resident, using the sampled
 // profile: classify sensitivity from the equation-(1) bandwidth
-// consumption estimate, then apply the benefit equations.
+// consumption estimate, then apply the benefit equations. With feedback
+// enabled the result passes through the CorrectedEstimates view — this
+// is the single choke point every planner (incremental, reference,
+// N-tier) funnels through, so corrections reach all of them identically
+// and the planAudit bit-identity contract holds.
 func (r *runner) benefitPerExec(kind string, obj task.ObjectID) float64 {
 	est, ok := r.profiler.EstimateFor(kind, obj, r.g.Object(obj).Size)
 	if !ok {
 		return 0
 	}
-	return r.params.BenefitProfiled(est.Loads, est.Stores, est.BWCons)
+	b := r.params.BenefitProfiled(est.Loads, est.Stores, est.BWCons)
+	if r.fb != nil {
+		b = r.fbView.Apply(int(r.pt.kindIx[kind]), obj, b)
+	}
+	return b
 }
 
 // meanTaskSec is the runtime's estimate of one task's duration, from

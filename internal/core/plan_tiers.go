@@ -29,7 +29,11 @@ func (r *runner) benefitPerExecTo(kind string, obj task.ObjectID, to mem.Tier) f
 	if !ok {
 		return 0
 	}
-	return r.params.BenefitProfiledBetween(est.Loads, est.Stores, est.BWCons, 0, to)
+	b := r.params.BenefitProfiledBetween(est.Loads, est.Stores, est.BWCons, 0, to)
+	if r.fb != nil {
+		b = r.fbView.Apply(int(r.pt.kindIx[kind]), obj, b)
+	}
+	return b
 }
 
 // computeTierPlan runs the whole-graph search over N tiers and returns a

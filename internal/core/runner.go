@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/fault"
+	"repro/internal/feedback"
 	"repro/internal/heap"
 	"repro/internal/mem"
 	"repro/internal/migrate"
@@ -65,6 +66,12 @@ type Result struct {
 	// the total sampling cost the run's profile accuracy was bought with.
 	// 0 for policies that do not profile.
 	ProfileSamples float64
+	// FeedbackReplans counts replans the observed-vs-predicted feedback
+	// estimator triggered (a subset of Replans); FeedbackCorrections is
+	// the number of (kind, object) pairs whose correction factor was
+	// active when the run ended. Both are 0 with feedback disabled.
+	FeedbackReplans     int
+	FeedbackCorrections int
 }
 
 // EDP returns the energy-delay product in joule-seconds.
@@ -203,6 +210,16 @@ type runner struct {
 	kindBoosted  []bool
 	adaptRounds  int
 
+	// Feedback state (nil/zero unless cfg.Feedback.Enabled and the policy
+	// profiles; every consumer is gated so feedback-off runs stay
+	// bit-identical). fb holds the per-(kind, object) correction factors,
+	// fbView the planner-facing corrected-estimates view, fbReplans the
+	// feedback-triggered replan count against fbCfg.ReplanBudget.
+	fb        *feedback.Estimator
+	fbView    feedback.CorrectedEstimates
+	fbCfg     feedback.Config
+	fbReplans int
+
 	// Fault-injection state (all nil/zero without cfg.Faults, and every
 	// consumer is gated so the fault-free paths stay bit-identical).
 	flt *fault.Injector
@@ -272,6 +289,8 @@ func Run(g *task.Graph, cfg Config) (Result, error) {
 		FaultEvents:          r.faultEvents,
 		Quarantines:          r.quarantines,
 		ProfileSamples:       r.profiler.SamplesTaken(),
+		FeedbackReplans:      r.fbReplans,
+		FeedbackCorrections:  r.feedbackStats().Corrections,
 	}
 	res.EnergyDynamicJ, res.EnergyStaticJ = r.energy(end)
 	res.EnergyJ = res.EnergyDynamicJ + res.EnergyStaticJ
@@ -431,6 +450,11 @@ func (r *runner) setup() error {
 		if r.cfg.Prof.Adaptive {
 			r.kindBoosted = make([]bool, nk)
 			r.adaptObjRel = make([]float64, nobj)
+		}
+		r.fbCfg = r.cfg.Feedback.WithDefaults()
+		if r.fbCfg.Enabled {
+			r.fb = feedback.New(r.fbCfg, nk, nobj)
+			r.fbView = r.fb.View()
 		}
 	}
 
@@ -896,6 +920,9 @@ func (r *runner) complete(end, began float64, w int, t *task.Task, d model.Deman
 			// explain: re-open profiling and re-plan.
 			r.reopenKind(ki)
 		}
+		if r.fb != nil {
+			r.observeFeedback(t, ki, d)
+		}
 		r.maybePlan(end)
 	}
 
@@ -1273,6 +1300,11 @@ func (r *runner) drainTier(t mem.Tier) {
 // finishPlan charges the solver's runtime cost.
 func (r *runner) finishPlan(now float64, cost float64) {
 	r.planned = true
+	if r.fb != nil {
+		// The plan just consumed the corrections known so far; only
+		// further factor movement justifies a feedback replan.
+		r.fb.Snapshot()
+	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.Plan, Label: r.plan.kind, OK: true})
 	}

@@ -23,7 +23,13 @@
 // paper's benefit and cost equations evaluated over noisy sampled
 // profiles and calibrated with constant factors. The gap between the two
 // layers is the honest part of the reproduction: the runtime plans with
-// its model, the simulator charges the truth.
+// its model, the simulator charges the truth. predict.go folds the
+// runtime view into a per-access-stream time prediction
+// (PredictAccessSec) — the quantity the feedback loop
+// (internal/feedback) compares against the simulator's actual charge,
+// making that gap observable to the runtime itself. DESIGN.md's
+// "Model-equation cross-reference" section maps each equation to the
+// paper feature it reconstructs and its truth-side counterpart.
 //
 // Both layers are tier-general: demand accumulators are per-tier arrays
 // (TaskDemandTiered splits traffic over any number of tiers), and

@@ -26,6 +26,30 @@ func (rr RegretResult) Regret() float64 {
 	return rr.Noisy.Time / rr.Perfect.Time
 }
 
+// RegretBetween generalizes PlacementRegret to an arbitrary pair of
+// configurations: it records a run under ref (the reference leg), then
+// replays the recorded schedule once under variant. The pinned pop order
+// (sched.Recorded) makes whatever differs between the two configurations
+// — noise model, calibration factors, feedback loop — the sole varying
+// factor between the legs, so Regret() reads directly as the price (or
+// gain) of the variant's placement decisions. The feedback experiment
+// (E21) leans on this: one reference recording, replayed per injected
+// model error with the correction loop off and on.
+func RegretBetween(g *task.Graph, ref, variant core.Config) (RegretResult, error) {
+	perfect, rec, err := Record(g, ref)
+	if err != nil {
+		return RegretResult{}, err
+	}
+	// The recording may live in the caller-provided trace buffer; the
+	// counterfactual leg must not scribble over it.
+	variant.Trace = nil
+	res, err := Replay(g, variant, rec)
+	if err != nil {
+		return RegretResult{}, err
+	}
+	return RegretResult{Perfect: perfect, Noisy: res}, nil
+}
+
 // PlacementRegret isolates what profiling noise costs the *placement
 // decisions*, free of scheduling luck: it records a run with the noise
 // model disabled (cfg.Prof.Exact() — the perfect-information plan), then
@@ -36,17 +60,5 @@ func (rr RegretResult) Regret() float64 {
 func PlacementRegret(g *task.Graph, cfg core.Config) (RegretResult, error) {
 	exact := cfg
 	exact.Prof = cfg.Prof.Exact()
-	perfect, rec, err := Record(g, exact)
-	if err != nil {
-		return RegretResult{}, err
-	}
-	noisy := cfg
-	// The recording may live in the caller-provided trace buffer; the
-	// counterfactual leg must not scribble over it.
-	noisy.Trace = nil
-	res, err := Replay(g, noisy, rec)
-	if err != nil {
-		return RegretResult{}, err
-	}
-	return RegretResult{Perfect: perfect, Noisy: res}, nil
+	return RegretBetween(g, exact, cfg)
 }

@@ -37,6 +37,9 @@ type RunRequest struct {
 	// Faults is a fault-schedule spec, e.g. "rate=1,seed=7,horizon=2"
 	// ("" = none).
 	Faults string `json:"faults,omitempty"`
+	// Feedback is an observed-vs-predicted correction-loop spec, e.g.
+	// "on" or "on,alpha=0.25,budget=6" ("" = off).
+	Feedback string `json:"feedback,omitempty"`
 	// NoCalibrate skips the per-machine model calibration (which is
 	// otherwise served from the shared singleflight cache).
 	NoCalibrate bool `json:"no_calibrate,omitempty"`
@@ -64,6 +67,10 @@ type RunResponse struct {
 	EnergyJ     float64 `json:"energy_j"`
 	FaultEvents int     `json:"fault_events,omitempty"`
 	Quarantines int     `json:"quarantines,omitempty"`
+	// FeedbackCorrections/FeedbackReplans report the observed-vs-
+	// predicted loop's activity when the request enabled it.
+	FeedbackCorrections int `json:"feedback_corrections,omitempty"`
+	FeedbackReplans     int `json:"feedback_replans,omitempty"`
 	// Degraded marks a run served under the load-shedding degraded mode
 	// (capped scale, no trace).
 	Degraded    bool    `json:"degraded,omitempty"`

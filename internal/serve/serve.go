@@ -44,8 +44,10 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/feedback"
 	"repro/internal/mem"
 	"repro/internal/prof"
 	"repro/internal/task"
@@ -145,6 +147,7 @@ type job struct {
 	sched    core.Scheduler
 	hms      mem.HMS
 	fsched   *fault.Schedule
+	fb       feedback.Config
 	wl       workloads.Spec
 	inline   *GraphSpec
 	degraded bool
@@ -231,6 +234,7 @@ func (s *Server) getJob(tenant string) *job {
 	j.resp = RunResponse{}
 	j.inline = nil
 	j.fsched = nil
+	j.fb = feedback.Config{}
 	j.degraded = false
 	return j
 }
@@ -270,6 +274,12 @@ func (s *Server) resolve(j *job) error {
 		return err
 	}
 	if err := j.fsched.Validate(j.hms.NumTiers()); err != nil {
+		return err
+	}
+	if j.fb, err = cliutil.ParseFeedback(req.Feedback, feedback.Config{}); err != nil {
+		return err
+	}
+	if err := j.fb.Validate(); err != nil {
 		return err
 	}
 	if req.Workers < 0 || req.Scale < 0 || req.Lookahead < 0 {
@@ -401,6 +411,7 @@ func (s *Server) execute(j *job) {
 	cfg.Policy = j.pol
 	cfg.Scheduler = j.sched
 	cfg.Faults = j.fsched
+	cfg.Feedback = j.fb
 	if req.Workers > 0 {
 		cfg.Workers = req.Workers
 	}
@@ -459,6 +470,8 @@ func (s *Server) execute(j *job) {
 	resp.EnergyJ = res.EnergyJ
 	resp.FaultEvents = res.FaultEvents
 	resp.Quarantines = res.Quarantines
+	resp.FeedbackCorrections = res.FeedbackCorrections
+	resp.FeedbackReplans = res.FeedbackReplans
 	if wantTrace {
 		resp.TraceEvents = j.tr.Len()
 		j.hasher.Reset()

@@ -266,6 +266,7 @@ func TestResolveRejects(t *testing.T) {
 		{Workload: "heat", Policy: "no-such-policy"},
 		{Workload: "heat", Scheduler: "no-such-scheduler"},
 		{Workload: "heat", Faults: "not-a-spec"},
+		{Workload: "heat", Feedback: "alpha=2"},
 		{Workload: "heat", Scale: -1},
 		{Workload: "heat", Graph: &GraphSpec{}},
 		{Graph: &GraphSpec{Objects: []ObjectSpec{{Size: 1}}, Tasks: []TaskSpec{{Kind: "k", Accesses: []AccessSpec{{Obj: 7, Mode: "in"}}}}}},

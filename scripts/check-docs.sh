@@ -47,6 +47,8 @@ Fault model & degraded modes
 Memory layout & allocation discipline
 Service architecture (placement as a service)
 Profiler fidelity & adaptive sampling
+Feedback loop: observed vs predicted
+Model-equation cross-reference (runtime view ↔ paper)
 EOF
 
 if [ "$bad" -ne 0 ]; then

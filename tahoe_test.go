@@ -75,8 +75,8 @@ func TestBuildWorkloadUnknown(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 22 {
-		t.Fatalf("%d experiments registered, want 22", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("%d experiments registered, want 23", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
