@@ -328,6 +328,50 @@ func BenchmarkE20_ProfNoiseRegret(b *testing.B) { benchExperiment(b, "E20") }
 // calibration error with the correction loop off and on).
 func BenchmarkE21_Feedback(b *testing.B) { benchExperiment(b, "E21") }
 
+// BenchmarkE22_ClusterFaults regenerates the cluster graceful-
+// degradation table (per rate cell: three policies' strong-scaling
+// runs plus their failover re-executions).
+func BenchmarkE22_ClusterFaults(b *testing.B) { benchExperiment(b, "E22") }
+
+// BenchmarkClusterFailover measures one degraded cluster run end to
+// end — per-rank derived fault schedules, whole-node outages killing
+// ranks, checkpoint sizing, round-robin host adoption, and the
+// re-rationed recovery reruns — the full cost of answering "what does
+// this job look like on a failing machine".
+func BenchmarkClusterFailover(b *testing.B) {
+	d, err := DistributedWorkload("cg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := WorkloadParams{Scale: 8}
+	nvm := NVMBandwidth(0.5)
+	const nodeDRAM = 24 * MB
+	cs := fault.RandomCluster(7, 17, 100, 0.03, 4, 1, 2)
+	cfg := ClusterConfig{
+		Nodes:        4,
+		RanksPerNode: 1,
+		NodeDRAM:     nodeDRAM,
+		NVM:          nvm,
+		Net:          EdisonNetwork(),
+		Rank:         DefaultConfig(NewHMS(DRAM(), nvm, nodeDRAM)),
+		Faults:       cs,
+	}
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Failovers) == 0 {
+		b.Fatal("schedule triggered no failovers; the benchmark is vacuous")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StrongScale(d, p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFeedbackObserve measures one observed-vs-predicted ingest.
 // allocs/op is gated at zero: Observe runs for every distinct (kind,
 // object) pair on every task completion while the loop is enabled, so

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tahoe -workload cholesky -policy tahoe -nvm bw:0.5 -dram 128 -workers 8
+//	tahoe -workload cg -cluster 4 -cluster-faults "nodes=4,node-rate=10,seed=7,horizon=0.05"
 //	tahoe -list
 package main
 
@@ -29,6 +30,9 @@ func main() {
 		kernels   = flag.Bool("kernels", false, "execute and verify the real numerical kernels")
 		calibrate = flag.Bool("calibrate", true, "calibrate model constant factors first")
 		faults    = flag.String("faults", "", `fault schedule, e.g. "rate=1,seed=7,horizon=2" ("" = none)`)
+		clusterN  = flag.Int("cluster", 0, "run the workload's strong-scaling decomposition across N nodes (0 = single-node)")
+		rpn       = flag.Int("ranks-per-node", 1, "ranks per node in -cluster mode")
+		clFaults  = flag.String("cluster-faults", "", `cluster fault schedule, e.g. "nodes=4,node-rate=10,dev-rate=5,seed=7,horizon=0.05" ("" = none)`)
 		sampling  = flag.String("sampling", "", `profiler sampling, e.g. "interval=100000,jitter=0.4,adaptive" ("" = defaults)`)
 		feedback  = flag.String("feedback", "", `observed-vs-predicted correction loop, e.g. "on" or "on,alpha=0.25,budget=6" ("" = off)`)
 		list      = flag.Bool("list", false, "list workloads and exit")
@@ -87,6 +91,23 @@ func main() {
 		cfg.CFBw, cfg.CFLat = f.CFBw, f.CFLat
 	}
 
+	if *clusterN > 0 {
+		if *kernels {
+			fail("-kernels is not supported in -cluster mode")
+		}
+		if *faults != "" {
+			fail("-faults is single-node; use -cluster-faults in -cluster mode")
+		}
+		if machine.CXLMB > 0 {
+			fail("-cxl is not supported in -cluster mode")
+		}
+		runCluster(*workload, *scale, *clusterN, *rpn, *clFaults, machine, cfg)
+		return
+	}
+	if *clFaults != "" {
+		fail("-cluster-faults needs -cluster")
+	}
+
 	built, err := tahoe.BuildWorkload(*workload, tahoe.WorkloadParams{Scale: *scale, Kernels: *kernels})
 	if err != nil {
 		fail("%v", err)
@@ -131,6 +152,50 @@ func main() {
 			res.FeedbackCorrections, res.FeedbackReplans)
 	}
 	fmt.Printf("DRAM peak   %d MB of %d MB\n", res.DRAMHighWaterBytes>>20, machine.DRAMMB)
+}
+
+// runCluster runs the workload's strong-scaling decomposition across
+// nodes, optionally on a degraded machine scripted by a cluster fault
+// schedule, and reports the job plus its fault-tolerance accounting.
+func runCluster(workload string, scale, nodes, rpn int, faultSpec string, machine *cliutil.MachineSpec, rank tahoe.Config) {
+	d, err := tahoe.DistributedWorkload(workload)
+	if err != nil {
+		fail("%v", err)
+	}
+	cs, err := cliutil.ParseClusterFaults(faultSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+	nvm, err := cliutil.ParseNVM(machine.NVM)
+	if err != nil {
+		fail("%v", err)
+	}
+	res, err := tahoe.StrongScale(d, tahoe.WorkloadParams{Scale: scale}, tahoe.ClusterConfig{
+		Nodes:        nodes,
+		RanksPerNode: rpn,
+		NodeDRAM:     machine.DRAMMB * tahoe.MB,
+		NVM:          nvm,
+		Net:          tahoe.EdisonNetwork(),
+		Rank:         rank,
+		Faults:       cs,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("cluster     %d nodes x %d ranks, %d MB DRAM/node + %s\n",
+		nodes, rpn, machine.DRAMMB, nvm.Name)
+	fmt.Printf("policy      %s\n", rank.Policy)
+	fmt.Printf("job         %.6f s (compute %.6f s, comm %.6f s)\n",
+		res.JobSec, res.ComputeSec, res.CommSec)
+	if cs != nil {
+		fmt.Printf("outages     %d opened, %d readmitted\n", res.NodeOutages, res.NodeReadmits)
+		fmt.Printf("failovers   %d recovered, %d ranks lost (%.6f s lost work)\n",
+			len(res.Failovers), res.LostRanks, res.LostWorkSec)
+		fmt.Printf("recovery    %.6f s restage, %.6f s re-execution\n",
+			res.RestageSec, res.ReexecSec)
+		fmt.Printf("devices     %d quarantines, %d readmits across ranks\n",
+			res.DeviceQuarantines, res.DeviceReadmits)
+	}
 }
 
 func orNone(s string) string {

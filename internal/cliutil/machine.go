@@ -90,6 +90,11 @@ func ParseScheduler(s string) (core.Scheduler, error) { return core.SchedulerByN
 // "none" = no schedule).
 func ParseFaults(s string) (*fault.Schedule, error) { return fault.ParseSpec(s) }
 
+// ParseClusterFaults parses the shared -cluster-faults spec string, e.g.
+// "nodes=4,rpn=1,node-rate=10,dev-rate=0,seed=7,horizon=0.05" ("" or
+// "none" = no schedule).
+func ParseClusterFaults(s string) (*fault.ClusterSchedule, error) { return fault.ParseClusterSpec(s) }
+
 // ParseSampling overlays the shared -sampling spec onto a profiler
 // configuration: a comma-separated list of
 //

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// TestValidateRejectsZeroRankShare: a node DRAM allowance that rations
+// to 0 bytes per rank must be rejected with a descriptive error, not run
+// as a silent all-NVM job.
+func TestValidateRejectsZeroRankShare(t *testing.T) {
+	cfg := cfgFor(2, 4, 3, core.Tahoe) // 3 bytes across 4 ranks -> 0
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("0-byte per-rank share accepted")
+	}
+	if !strings.Contains(err.Error(), "0 bytes per rank") {
+		t.Fatalf("error %q does not describe the rationing problem", err)
+	}
+	// NodeDRAM == 0 stays legal: that is the explicit NVM-only machine.
+	cfg = cfgFor(2, 4, 0, core.NVMOnly)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyClusterScheduleBitIdentical is the acceptance invariant: an
+// empty (zero-rate) cluster schedule — and a nil one — reproduce the
+// fault-free job bit for bit, per-rank makespans compared as Float64bits.
+func TestEmptyClusterScheduleBitIdentical(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	for _, pol := range []core.Policy{core.Tahoe, core.FirstTouch, core.NVMOnly} {
+		run := func(cs *fault.ClusterSchedule) Result {
+			cfg := cfgFor(2, 2, 128*mem.MB, pol)
+			cfg.Faults = cs
+			res, err := StrongScale(d, p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		base := run(nil)
+		empty := run(fault.RandomCluster(99, 0, 0, 1.0, 2, 2, 2))
+		if math.Float64bits(base.JobSec) != math.Float64bits(empty.JobSec) ||
+			math.Float64bits(base.ComputeSec) != math.Float64bits(empty.ComputeSec) ||
+			math.Float64bits(base.CommSec) != math.Float64bits(empty.CommSec) {
+			t.Fatalf("policy %v: empty schedule changed job accounting: %+v vs %+v", pol, base, empty)
+		}
+		for r := range base.PerRank {
+			if math.Float64bits(base.PerRank[r].Time) != math.Float64bits(empty.PerRank[r].Time) {
+				t.Fatalf("policy %v: rank %d makespan diverged: %x vs %x", pol, r,
+					math.Float64bits(base.PerRank[r].Time), math.Float64bits(empty.PerRank[r].Time))
+			}
+		}
+		if empty.NodeOutages != 0 || empty.FailedRanks != 0 || len(empty.Failovers) != 0 {
+			t.Fatalf("policy %v: empty schedule produced fault accounting: %+v", pol, empty)
+		}
+	}
+}
+
+// TestClusterFaultsDeterministic: the same (seed, schedule) cluster run
+// twice is identical, failover accounting included.
+func TestClusterFaultsDeterministic(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	run := func() Result {
+		cfg := cfgFor(2, 2, 128*mem.MB, core.Tahoe)
+		cfg.Faults = fault.RandomCluster(7, 2, 4, 0.2, 2, 2, 2)
+		res, err := StrongScale(d, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic faulty cluster run:\n%+v\n%+v", a, b)
+	}
+}
+
+// outageAt builds a hand-scripted schedule with the given outages for a
+// nodes x rpn cluster and no device faults.
+func outageAt(nodes, rpn int, outages ...fault.NodeOutage) *fault.ClusterSchedule {
+	return &fault.ClusterSchedule{
+		Nodes: nodes, RanksPerNode: rpn, Tiers: 2, Horizon: 1,
+		Outages: outages,
+	}
+}
+
+// TestFailoverRecoversKilledRanks: an outage early in the run kills the
+// node's ranks; every one must recover on the surviving node, with
+// accounting that conserves failed = recovered + lost.
+func TestFailoverRecoversKilledRanks(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	cfg := cfgFor(2, 2, 128*mem.MB, core.Tahoe)
+	cfg.Faults = outageAt(2, 2, fault.NodeOutage{Node: 0, At: 1e-4, Until: 1e-3})
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeOutages != 1 || res.NodeReadmits != 1 {
+		t.Fatalf("outage/readmit pairing broken: %d/%d", res.NodeOutages, res.NodeReadmits)
+	}
+	if res.FailedRanks != 2 {
+		t.Fatalf("expected both ranks on node 0 to fail, got %d", res.FailedRanks)
+	}
+	if res.FailedRanks != len(res.Failovers)+res.LostRanks {
+		t.Fatalf("conservation broken: %d failed != %d failovers + %d lost",
+			res.FailedRanks, len(res.Failovers), res.LostRanks)
+	}
+	if res.LostRanks != 0 {
+		t.Fatalf("surviving node available but %d ranks lost", res.LostRanks)
+	}
+	for _, f := range res.Failovers {
+		if f.FromNode != 0 || f.ToNode != 1 {
+			t.Fatalf("failover %+v did not move rank from node 0 to node 1", f)
+		}
+		if f.ProgressFrac < 0 || f.ProgressFrac >= 1 {
+			t.Fatalf("progress %g out of [0,1)", f.ProgressFrac)
+		}
+		if f.RestageSec <= 0 || f.RedoSec <= 0 {
+			t.Fatalf("failover %+v has non-positive recovery terms", f)
+		}
+		if math.Abs(f.DoneSec-(f.AtSec+f.RestageSec+f.RedoSec)) > 1e-12 {
+			t.Fatalf("DoneSec %g != At+Restage+Redo", f.DoneSec)
+		}
+		if res.ComputeSec < f.DoneSec {
+			t.Fatalf("ComputeSec %g below failover completion %g", res.ComputeSec, f.DoneSec)
+		}
+	}
+	if res.RestageSec <= 0 || res.ReexecSec <= 0 {
+		t.Fatal("recovery totals not accumulated")
+	}
+}
+
+// TestOutageAfterComputeDoesNotFail: a node that dies after its ranks
+// finished computing (during the halo-exchange tail) fails nobody.
+func TestOutageAfterComputeDoesNotFail(t *testing.T) {
+	d := dist(t, "heat")
+	p := workloads.Params{Scale: 4}
+	base, err := StrongScale(d, p, cfgFor(2, 1, 128*mem.MB, core.NVMOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgFor(2, 1, 128*mem.MB, core.NVMOnly)
+	cfg.Faults = outageAt(2, 1, fault.NodeOutage{
+		Node: 0, At: base.ComputeSec * 1.01, Until: base.ComputeSec * 1.01 * 2})
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeOutages != 1 || res.FailedRanks != 0 || len(res.Failovers) != 0 {
+		t.Fatalf("post-compute outage killed ranks: %+v", res)
+	}
+	if math.Float64bits(res.JobSec) != math.Float64bits(base.JobSec) {
+		t.Fatalf("post-compute outage changed makespan: %g vs %g", res.JobSec, base.JobSec)
+	}
+}
+
+// TestNoSurvivorLosesWork: with every node down at once there is nowhere
+// to fail over to; the work is accounted as lost, not silently dropped.
+func TestNoSurvivorLosesWork(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	cfg := cfgFor(2, 1, 128*mem.MB, core.NVMOnly)
+	cfg.Faults = outageAt(2, 1,
+		fault.NodeOutage{Node: 0, At: 1e-4, Until: 1},
+		fault.NodeOutage{Node: 1, At: 1e-4, Until: 1})
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRanks != 2 || res.LostRanks != 2 || len(res.Failovers) != 0 {
+		t.Fatalf("expected both ranks lost: %+v", res)
+	}
+	if res.LostWorkSec <= 0 {
+		t.Fatal("lost work not accounted")
+	}
+	if res.FailedRanks != len(res.Failovers)+res.LostRanks {
+		t.Fatal("conservation broken")
+	}
+}
+
+// TestRerationHookDrivesFailoverShare: the degraded-cluster re-rationing
+// hook sees every adoption and its answer bounds the recovery run's DRAM
+// high-water mark.
+func TestRerationHookDrivesFailoverShare(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	cfg := cfgFor(2, 2, 128*mem.MB, core.Tahoe)
+	cfg.Faults = outageAt(2, 2, fault.NodeOutage{Node: 0, At: 1e-4, Until: 1e-3})
+	var calls []int
+	quarter := cfg.NodeDRAM / 4
+	cfg.Reration = func(nodeDRAM int64, baseRanks, adopted int) int64 {
+		if nodeDRAM != cfg.NodeDRAM || baseRanks != cfg.RanksPerNode {
+			t.Fatalf("reration called with %d/%d", nodeDRAM, baseRanks)
+		}
+		calls = append(calls, adopted)
+		return quarter
+	}
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(res.Failovers) || len(calls) == 0 {
+		t.Fatalf("reration called %d times for %d failovers", len(calls), len(res.Failovers))
+	}
+	for i, adopted := range calls {
+		if adopted != i+1 {
+			t.Fatalf("adoption counts %v not monotone per host", calls)
+		}
+	}
+}
+
+// TestNVMResidencyIsTheCheckpoint: an NVM-only rank's whole footprint
+// survives the crash (checkpoint == footprint), while a DRAM-using
+// policy checkpoints strictly less — the paper's persistence argument,
+// quantified.
+func TestNVMResidencyIsTheCheckpoint(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	run := func(pol core.Policy) Result {
+		cfg := cfgFor(2, 1, 128*mem.MB, pol)
+		cfg.Faults = outageAt(2, 1, fault.NodeOutage{Node: 0, At: 1e-4, Until: 1e-3})
+		res, err := StrongScale(d, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failovers) != 1 {
+			t.Fatalf("policy %v: expected exactly one failover, got %d", pol, len(res.Failovers))
+		}
+		return res
+	}
+	var foot int64
+	for _, o := range d.BuildRank(0, 2, p).Graph.Objects {
+		foot += o.Size
+	}
+	nvm := run(core.NVMOnly).Failovers[0]
+	if nvm.NVMResidentBytes != foot {
+		t.Fatalf("NVM-only checkpoint %d != footprint %d", nvm.NVMResidentBytes, foot)
+	}
+	ta := run(core.Tahoe).Failovers[0]
+	if ta.NVMResidentBytes >= foot {
+		t.Fatalf("Tahoe checkpoint %d should be below footprint %d (DRAM state is lost)",
+			ta.NVMResidentBytes, foot)
+	}
+}
+
+// TestBackToBackOutagesSameNode: the second outage finds the node's
+// ranks already failed over; it must not double-kill or double-recover.
+func TestBackToBackOutagesSameNode(t *testing.T) {
+	d := dist(t, "cg")
+	p := workloads.Params{Scale: 6}
+	cfg := cfgFor(2, 2, 128*mem.MB, core.Tahoe)
+	cfg.Faults = outageAt(2, 2,
+		fault.NodeOutage{Node: 0, At: 1e-4, Until: 5e-4},
+		fault.NodeOutage{Node: 0, At: 1e-3, Until: 2e-3})
+	res, err := StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeOutages != 2 || res.NodeReadmits != 2 {
+		t.Fatalf("outage/readmit pairing broken: %d/%d", res.NodeOutages, res.NodeReadmits)
+	}
+	if res.FailedRanks != 2 || len(res.Failovers) != 2 {
+		t.Fatalf("back-to-back outages double-counted: %d failed, %d failovers",
+			res.FailedRanks, len(res.Failovers))
+	}
+}

@@ -59,9 +59,12 @@ type Result struct {
 	CopyBusyFrac float64
 	// FaultEvents counts fault-schedule activations that fired during the
 	// run; Quarantines counts tier-quarantine episodes the runtime opened
-	// in response. Both are 0 without fault injection.
+	// in response, and Readmits the episodes that closed before the run
+	// ended (a quarantine still open at quiescence never readmits, so
+	// Readmits <= Quarantines). All are 0 without fault injection.
 	FaultEvents int
 	Quarantines int
+	Readmits    int
 	// ProfileSamples is the profiler's cumulative expected sample count —
 	// the total sampling cost the run's profile accuracy was bought with.
 	// 0 for policies that do not profile.
@@ -229,6 +232,7 @@ type runner struct {
 	quarantined []bool
 	tierFaults  []int
 	quarantines int
+	readmits    int
 	faultEvents int
 }
 
@@ -288,6 +292,7 @@ func Run(g *task.Graph, cfg Config) (Result, error) {
 		DRAMHighWaterBytes:   r.highWater,
 		FaultEvents:          r.faultEvents,
 		Quarantines:          r.quarantines,
+		Readmits:             r.readmits,
 		ProfileSamples:       r.profiler.SamplesTaken(),
 		FeedbackReplans:      r.fbReplans,
 		FeedbackCorrections:  r.feedbackStats().Corrections,
@@ -1232,6 +1237,9 @@ func (r *runner) quarantineTier(now float64, t mem.Tier, until float64) {
 	}
 	r.quarantined[t] = true
 	r.quarantines++
+	if r.cfg.OnQuarantine != nil {
+		r.cfg.OnQuarantine(now, t, true)
+	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.TierQuarantine, To: t, OK: true})
 	}
@@ -1255,6 +1263,10 @@ func (r *runner) quarantineTier(now float64, t mem.Tier, until float64) {
 func (r *runner) readmitTier(now float64, t mem.Tier) {
 	r.quarantined[t] = false
 	r.tierFaults[t] = 0
+	r.readmits++
+	if r.cfg.OnQuarantine != nil {
+		r.cfg.OnQuarantine(now, t, false)
+	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace.Add(trace.Event{Time: now, Kind: trace.TierReadmit, To: t, OK: true})
 	}

@@ -8,8 +8,10 @@ package fault_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -135,6 +137,202 @@ func TestChaos(t *testing.T) {
 			}
 		})
 	}
+}
+
+// clusterChaosConfig builds the cluster config one chaos combo runs.
+func clusterChaosConfig(nodes, rpn int, pol core.Policy) cluster.Config {
+	rc := core.DefaultConfig(mem.NewHMS(mem.DRAM(), mem.NVMBandwidth(0.5), 64*mem.MB))
+	rc.Policy = pol
+	return cluster.Config{
+		Nodes:        nodes,
+		RanksPerNode: rpn,
+		NodeDRAM:     64 * mem.MB,
+		NVM:          mem.NVMBandwidth(0.5),
+		Net:          cluster.EdisonNetwork(),
+		Rank:         rc,
+	}
+}
+
+// checkClusterAccounting asserts the cluster fault-tolerance contract on
+// one degraded run: outage windows pair with readmits, every failed rank
+// is either recovered or accounted as lost work, recovery arithmetic is
+// internally consistent, and the per-rank quarantine episodes aggregate
+// exactly into the cluster counters.
+func checkClusterAccounting(t *testing.T, res cluster.Result, outages int) {
+	t.Helper()
+	if res.NodeOutages != outages || res.NodeReadmits != outages {
+		t.Errorf("outage/readmit pairing broken: %d windows, %d outages, %d readmits",
+			outages, res.NodeOutages, res.NodeReadmits)
+	}
+	if res.FailedRanks != len(res.Failovers)+res.LostRanks {
+		t.Errorf("conservation broken: %d failed != %d failovers + %d lost",
+			res.FailedRanks, len(res.Failovers), res.LostRanks)
+	}
+	if res.LostRanks > 0 && res.LostWorkSec <= 0 {
+		t.Errorf("%d lost ranks but no lost work accounted", res.LostRanks)
+	}
+	if res.LostRanks == 0 && res.LostWorkSec != 0 {
+		t.Errorf("lost work %g with no lost ranks", res.LostWorkSec)
+	}
+	for _, f := range res.Failovers {
+		if f.FromNode == f.ToNode {
+			t.Errorf("failover %+v stayed on the dead node", f)
+		}
+		if f.ProgressFrac < 0 || f.ProgressFrac >= 1 {
+			t.Errorf("failover progress %g out of [0,1)", f.ProgressFrac)
+		}
+		if math.Abs(f.DoneSec-(f.AtSec+f.RestageSec+f.RedoSec)) > 1e-12 {
+			t.Errorf("failover %+v: DoneSec != At+Restage+Redo", f)
+		}
+		if res.ComputeSec < f.DoneSec {
+			t.Errorf("ComputeSec %g below failover completion %g", res.ComputeSec, f.DoneSec)
+		}
+	}
+	var quar, readmit int
+	for _, rr := range res.PerRank {
+		quar += rr.Quarantines
+		readmit += rr.Readmits
+		if rr.Readmits > rr.Quarantines {
+			t.Errorf("rank readmits %d exceed quarantines %d", rr.Readmits, rr.Quarantines)
+		}
+	}
+	if res.DeviceQuarantines != quar || res.DeviceReadmits != readmit {
+		t.Errorf("cluster device counters %d/%d != per-rank sums %d/%d",
+			res.DeviceQuarantines, res.DeviceReadmits, quar, readmit)
+	}
+	if res.JobSec != res.ComputeSec+res.CommSec {
+		t.Errorf("job accounting broken: %g != %g + %g", res.JobSec, res.ComputeSec, res.CommSec)
+	}
+}
+
+// TestClusterChaos fans 50 seeded cluster combos — workloads x policies
+// x cluster shapes x node/device fault intensities — and asserts the
+// fault-tolerance contract on every one. Schedules are generated against
+// each combo's own fault-free horizon so outages land inside the run.
+func TestClusterChaos(t *testing.T) {
+	workloadNames := []string{"heat", "cg"}
+	policies := []core.Policy{core.Tahoe, core.PhaseBased, core.FirstTouch, core.NVMOnly}
+	shapes := []struct{ nodes, rpn int }{{2, 1}, {3, 1}, {2, 2}}
+	outageCounts := []int{1, 2, 4}
+	devCounts := []int{0, 3, 8}
+	const combos = 50
+
+	for i := 0; i < combos; i++ {
+		i := i
+		wl := workloadNames[i%len(workloadNames)]
+		pol := policies[(i/len(workloadNames))%len(policies)]
+		shape := shapes[i%len(shapes)]
+		wantOutages := outageCounts[i%len(outageCounts)]
+		devCount := devCounts[(i/3)%len(devCounts)]
+		t.Run(fmt.Sprintf("%02d-%s-%s-%dx%d-o%d-d%d", i, wl, pol, shape.nodes, shape.rpn, wantOutages, devCount), func(t *testing.T) {
+			t.Parallel()
+			d, err := workloads.DistributedByName(wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := workloads.Params{Scale: 6}
+			if wl == "heat" {
+				p.Scale = 4
+			}
+			cfg := clusterChaosConfig(shape.nodes, shape.rpn, pol)
+			base, err := cluster.StrongScale(d, p, cfg)
+			if err != nil {
+				t.Fatalf("fault-free run failed: %v", err)
+			}
+			// Rates are chosen so RandomCluster rounds to exactly the
+			// combo's target event counts within the run's own horizon.
+			horizon := 0.8 * base.ComputeSec
+			nodeRate := float64(wantOutages) / (horizon * float64(shape.nodes))
+			devRate := float64(devCount) / horizon
+			cs := fault.RandomCluster(int64(3000+i), nodeRate, devRate, horizon,
+				shape.nodes, shape.rpn, 2)
+			if len(cs.Outages) != wantOutages {
+				t.Fatalf("schedule has %d outages, want %d", len(cs.Outages), wantOutages)
+			}
+			cfg.Faults = cs
+			res, err := cluster.StrongScale(d, p, cfg)
+			if err != nil {
+				t.Fatalf("cluster did not survive the schedule: %v", err)
+			}
+			if res.JobSec <= 0 {
+				t.Fatalf("non-positive job time %g", res.JobSec)
+			}
+			checkClusterAccounting(t, res, wantOutages)
+		})
+	}
+}
+
+// TestClusterChaosScenarios pins the three targeted outage timings the
+// random grid only covers probabilistically: an outage mid-iteration, an
+// outage during the halo-exchange tail, and back-to-back outages on one
+// node.
+func TestClusterChaosScenarios(t *testing.T) {
+	d, err := workloads.DistributedByName("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workloads.Params{Scale: 6}
+	cfg := clusterChaosConfig(2, 2, core.Tahoe)
+	base, err := cluster.StrongScale(d, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.CommSec <= 0 {
+		t.Fatal("scenario needs a halo-exchange tail")
+	}
+	sched := func(outages ...fault.NodeOutage) *fault.ClusterSchedule {
+		return &fault.ClusterSchedule{Nodes: 2, RanksPerNode: 2, Tiers: 2,
+			Horizon: base.ComputeSec, Outages: outages}
+	}
+
+	t.Run("mid-iteration", func(t *testing.T) {
+		cfg := cfg
+		cfg.Faults = sched(fault.NodeOutage{Node: 0,
+			At: 0.3 * base.ComputeSec, Until: 0.6 * base.ComputeSec})
+		res, err := cluster.StrongScale(d, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClusterAccounting(t, res, 1)
+		if res.FailedRanks == 0 || len(res.Failovers) == 0 {
+			t.Fatalf("mid-run outage failed nobody: %+v", res)
+		}
+		if res.JobSec <= base.JobSec {
+			t.Fatalf("recovery cost vanished: %g <= fault-free %g", res.JobSec, base.JobSec)
+		}
+	})
+
+	t.Run("during-halo-exchange", func(t *testing.T) {
+		cfg := cfg
+		at := base.ComputeSec + 0.5*base.CommSec
+		cfg.Faults = sched(fault.NodeOutage{Node: 0, At: at, Until: at + base.CommSec})
+		res, err := cluster.StrongScale(d, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClusterAccounting(t, res, 1)
+		if res.FailedRanks != 0 {
+			t.Fatalf("outage past compute killed %d ranks", res.FailedRanks)
+		}
+		if math.Float64bits(res.JobSec) != math.Float64bits(base.JobSec) {
+			t.Fatalf("halo-tail outage changed makespan: %g vs %g", res.JobSec, base.JobSec)
+		}
+	})
+
+	t.Run("back-to-back-same-node", func(t *testing.T) {
+		cfg := cfg
+		cfg.Faults = sched(
+			fault.NodeOutage{Node: 1, At: 0.2 * base.ComputeSec, Until: 0.4 * base.ComputeSec},
+			fault.NodeOutage{Node: 1, At: 0.5 * base.ComputeSec, Until: 0.7 * base.ComputeSec})
+		res, err := cluster.StrongScale(d, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClusterAccounting(t, res, 2)
+		if res.FailedRanks != 2 {
+			t.Fatalf("back-to-back outages killed %d ranks, want the node's 2 exactly once", res.FailedRanks)
+		}
+	})
 }
 
 // TestChaosZeroRateMatchesNil spot-checks inside the chaos grid what the

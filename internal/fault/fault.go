@@ -101,6 +101,16 @@ type Schedule struct {
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Events) == 0 }
 
+// String returns the canonical spec ("" for nil), the inverse of
+// ParseSpec: for any schedule built by Random, RandomCluster, or the
+// parsers, ParseSpec(s.String()) reconstructs s exactly.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	return s.Spec
+}
+
 // Validate checks the schedule against a machine with numTiers tiers.
 func (s *Schedule) Validate(numTiers int) error {
 	if s == nil {
@@ -206,10 +216,18 @@ func Random(seed int64, rate, horizon float64, tiers int) *Schedule {
 // delegating to Random. Empty string and "none" mean no faults (nil
 // schedule). The spec is stored on the schedule, so recordings carry it
 // and replays reconstruct the identical schedule.
+//
+// A "cluster:<cluster spec>;rank=<r>" spec — the form RankSchedule
+// stamps on schedules derived from a ClusterSchedule — reconstructs that
+// rank's derived device schedule, so recordings of faulty cluster runs
+// replay through the same path as single-node ones.
 func ParseSpec(spec string) (*Schedule, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" || spec == "none" {
 		return nil, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "cluster:"); ok {
+		return parseClusterRankSpec(rest)
 	}
 	var (
 		rate, horizon float64

@@ -274,6 +274,43 @@ func TestOverload(t *testing.T) {
 		t.Fatalf("accounting: accepted=%d completed=%d failed=%d, clients got %d OKs",
 			st.Accepted, st.Completed, st.Failed, ok.Load())
 	}
+	// The burst saturated a depth-2 queue, so the overload controller
+	// must have engaged degraded mode at least once, and every degraded
+	// run maps back to an engagement.
+	if st.Degraded > 0 && st.DegradedEngaged == 0 {
+		t.Fatalf("%d degraded runs but no recorded engagement", st.Degraded)
+	}
+
+	// Fault-injection accounting flows through to the service counters:
+	// the overloaded runs were fault-free, so after one faulty run the
+	// aggregates equal exactly that run's events, quarantine episodes and
+	// readmissions.
+	fr, err := s.Do(&RunRequest{Workload: "heat", Faults: "rate=120,seed=9,horizon=1"})
+	if err != nil {
+		t.Fatalf("faulty run: %v", err)
+	}
+	if fr.Error != "" || fr.FaultEvents == 0 || fr.Quarantines == 0 {
+		t.Fatalf("faulty run injected nothing: %+v", fr)
+	}
+	if fr.Readmits > fr.Quarantines {
+		t.Fatalf("readmits %d exceed quarantines %d", fr.Readmits, fr.Quarantines)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 Stats
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if st2.FaultEvents != uint64(fr.FaultEvents) ||
+		st2.Quarantines != uint64(fr.Quarantines) ||
+		st2.Readmits != uint64(fr.Readmits) {
+		t.Fatalf("stats fault aggregates (%d events, %d quarantines, %d readmits) don't match the run (%d, %d, %d)",
+			st2.FaultEvents, st2.Quarantines, st2.Readmits,
+			fr.FaultEvents, fr.Quarantines, fr.Readmits)
+	}
 
 	// Clean shutdown: drain completes and subsequent admissions get 503.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -285,7 +322,7 @@ func TestOverload(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain status %d, want 503", resp.StatusCode)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,7 @@ type RunResponse struct {
 	EnergyJ     float64 `json:"energy_j"`
 	FaultEvents int     `json:"fault_events,omitempty"`
 	Quarantines int     `json:"quarantines,omitempty"`
+	Readmits    int     `json:"readmits,omitempty"`
 	// FeedbackCorrections/FeedbackReplans report the observed-vs-
 	// predicted loop's activity when the request enabled it.
 	FeedbackCorrections int `json:"feedback_corrections,omitempty"`

@@ -106,18 +106,29 @@ var (
 
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
-	Accepted   uint64  `json:"accepted"`
-	Completed  uint64  `json:"completed"`
-	Failed     uint64  `json:"failed"`
-	Shed       uint64  `json:"shed"`
-	Degraded   uint64  `json:"degraded_runs"`
-	QueueLen   int     `json:"queue_len"`
-	QueueCap   int     `json:"queue_cap"`
-	MaxQueue   int     `json:"max_queue_len"`
-	Workers    int     `json:"workers"`
-	Draining   bool    `json:"draining"`
-	InDegraded bool    `json:"degraded"`
-	AvgRunMS   float64 `json:"avg_run_ms"`
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Shed      uint64 `json:"shed"`
+	Degraded  uint64 `json:"degraded_runs"`
+	// DegradedEngaged counts the times the overload controller engaged
+	// degraded mode (hysteresis on-transitions), distinguishing one long
+	// overload episode from many short ones.
+	DegradedEngaged uint64 `json:"degraded_engaged"`
+	// FaultEvents/Quarantines/Readmits aggregate the fault-injection
+	// activity of completed runs — the service-level view of how much
+	// scripted degradation its tenants have asked for and how often tiers
+	// cycled through quarantine.
+	FaultEvents uint64  `json:"fault_events"`
+	Quarantines uint64  `json:"quarantines"`
+	Readmits    uint64  `json:"readmits"`
+	QueueLen    int     `json:"queue_len"`
+	QueueCap    int     `json:"queue_cap"`
+	MaxQueue    int     `json:"max_queue_len"`
+	Workers     int     `json:"workers"`
+	Draining    bool    `json:"draining"`
+	InDegraded  bool    `json:"degraded"`
+	AvgRunMS    float64 `json:"avg_run_ms"`
 }
 
 // shardCount is the tenant-shard fan-out; a power of two so the hash
@@ -176,14 +187,17 @@ type Server struct {
 	workersWG sync.WaitGroup
 	closeOnce sync.Once
 
-	nextID    atomic.Uint64
-	accepted  atomic.Uint64
-	completed atomic.Uint64
-	failed    atomic.Uint64
-	shedCount atomic.Uint64
-	degRuns   atomic.Uint64
-	maxQueue  atomic.Int64
-	avgRunNS  atomic.Uint64 // EWMA of run wall time, float64 bits
+	nextID      atomic.Uint64
+	accepted    atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	shedCount   atomic.Uint64
+	degRuns     atomic.Uint64
+	faultEvents atomic.Uint64
+	quarantines atomic.Uint64
+	readmits    atomic.Uint64
+	maxQueue    atomic.Int64
+	avgRunNS    atomic.Uint64 // EWMA of run wall time, float64 bits
 }
 
 // New builds a server and starts its worker pool.
@@ -470,6 +484,10 @@ func (s *Server) execute(j *job) {
 	resp.EnergyJ = res.EnergyJ
 	resp.FaultEvents = res.FaultEvents
 	resp.Quarantines = res.Quarantines
+	resp.Readmits = res.Readmits
+	s.faultEvents.Add(uint64(res.FaultEvents))
+	s.quarantines.Add(uint64(res.Quarantines))
+	s.readmits.Add(uint64(res.Readmits))
 	resp.FeedbackCorrections = res.FeedbackCorrections
 	resp.FeedbackReplans = res.FeedbackReplans
 	if wantTrace {
@@ -508,18 +526,24 @@ func (s *Server) Snapshot() Stats {
 	draining := s.draining
 	s.admitMu.Unlock()
 	return Stats{
-		Accepted:   s.accepted.Load(),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
-		Shed:       s.shedCount.Load(),
-		Degraded:   s.degRuns.Load(),
-		QueueLen:   len(s.queue),
-		QueueCap:   cap(s.queue),
-		MaxQueue:   int(s.maxQueue.Load()),
-		Workers:    s.cfg.Workers,
-		Draining:   draining,
-		InDegraded: s.shed.Active(),
-		AvgRunMS:   math.Float64frombits(s.avgRunNS.Load()) / 1e6,
+		Accepted:  s.accepted.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Shed:      s.shedCount.Load(),
+		Degraded:  s.degRuns.Load(),
+		// Epoch advances on every transition; on-transitions are the odd
+		// ones, so engagements = ceil(epoch/2).
+		DegradedEngaged: (s.shed.Epoch() + 1) / 2,
+		FaultEvents:     s.faultEvents.Load(),
+		Quarantines:     s.quarantines.Load(),
+		Readmits:        s.readmits.Load(),
+		QueueLen:        len(s.queue),
+		QueueCap:        cap(s.queue),
+		MaxQueue:        int(s.maxQueue.Load()),
+		Workers:         s.cfg.Workers,
+		Draining:        draining,
+		InDegraded:      s.shed.Active(),
+		AvgRunMS:        math.Float64frombits(s.avgRunNS.Load()) / 1e6,
 	}
 }
 

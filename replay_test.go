@@ -4,6 +4,10 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workloads"
 )
 
 // TestReplayFidelity pins the replay subsystem's central guarantee at
@@ -87,6 +91,68 @@ func TestReplayFidelityWithFaults(t *testing.T) {
 	}
 	if orig != again {
 		t.Errorf("faulty replay differs:\nrecorded: %+v\nreplayed: %+v", orig, again)
+	}
+}
+
+// TestReplayFidelityClusterFaults pins the cluster-scale replay
+// guarantee: a rank of a faulty cluster run — whose schedule was derived
+// from the shared cluster seed and carries a "cluster:...;rank=N" spec —
+// records, saves, loads, and replays bit for bit with no schedule on the
+// replay config. The derived schedule comes back from the recording's
+// spec string alone, so any rank of a (seed, schedule) cluster run is
+// reconstructible from its recording.
+func TestReplayFidelityClusterFaults(t *testing.T) {
+	d, err := workloads.DistributedByName("heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rank, ranks = 1, 4
+	p := workloads.Params{Scale: 4}
+	g := d.BuildRank(rank, ranks, p).Graph
+	cfg := DefaultConfig(NewHMS(DRAM(), NVMBandwidth(0.5), 64*MB))
+	cfg.Policy = Tahoe
+	// Generate the cluster schedule against the rank's own fault-free
+	// horizon so device faults land inside the run.
+	base, err := core.Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 0.8 * base.Time
+	cs := fault.RandomCluster(5, 1/horizon, 10/horizon, horizon, 2, 2, 2)
+	cfg.Faults = cs.RankSchedule(rank)
+	if !strings.HasPrefix(cfg.Faults.Spec, "cluster:") {
+		t.Fatalf("derived schedule spec %q lacks cluster: prefix", cfg.Faults.Spec)
+	}
+
+	orig, rec, err := Record(g, cfg)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if orig.FaultEvents == 0 {
+		t.Fatal("derived schedule injected nothing; the test is vacuous")
+	}
+	if rec.Meta.Faults != cfg.Faults.Spec {
+		t.Fatalf("recording metadata lost the cluster spec: %q", rec.Meta.Faults)
+	}
+	var buf strings.Builder
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRecording(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := cfg
+	replayCfg.Faults = nil // must come back from the cluster rank spec
+	again, err := Replay(g, replayCfg, loaded)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if math.Float64bits(orig.Time) != math.Float64bits(again.Time) {
+		t.Errorf("cluster-faulty makespan diverged: %v vs %v", orig.Time, again.Time)
+	}
+	if orig != again {
+		t.Errorf("cluster-faulty replay differs:\nrecorded: %+v\nreplayed: %+v", orig, again)
 	}
 }
 

@@ -44,6 +44,7 @@ Engine internals (the incremental-rate hot path)
 Planner internals (the incremental, allocation-light decision core)
 Replay internals (record once, vary placement)
 Fault model & degraded modes
+Cluster fault tolerance & failover
 Memory layout & allocation discipline
 Service architecture (placement as a service)
 Profiler fidelity & adaptive sampling

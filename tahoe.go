@@ -278,3 +278,18 @@ var EdisonNetwork = cluster.EdisonNetwork
 // DistributedWorkload returns a workload's strong-scaling decomposition
 // (heat and cg are supported).
 var DistributedWorkload = workloads.DistributedByName
+
+// ClusterFaultSchedule scripts cluster-scale fault injection: seeded
+// whole-node outages plus per-node device-fault schedules that every
+// rank on the node shares.
+type ClusterFaultSchedule = fault.ClusterSchedule
+
+// ParseClusterFaultSpec parses a cluster fault-schedule spec string such
+// as "nodes=4,node-rate=10,seed=7,horizon=0.05" ("" or "none" yields a
+// nil schedule).
+var ParseClusterFaultSpec = fault.ParseClusterSpec
+
+// RandomClusterFaults generates a seeded cluster schedule: node outages
+// at nodeRate (outages per second per node) and per-node device faults
+// at devRate (events per second), over a horizon.
+var RandomClusterFaults = fault.RandomCluster

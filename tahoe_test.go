@@ -75,8 +75,8 @@ func TestBuildWorkloadUnknown(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("%d experiments registered, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("%d experiments registered, want 24", len(exps))
 	}
 	ids := map[string]bool{}
 	for _, e := range exps {
@@ -88,7 +88,7 @@ func TestExperimentRegistry(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"T1", "T2", "E1", "E4", "E7", "E12", "E18", "E19"} {
+	for _, want := range []string{"T1", "T2", "E1", "E4", "E7", "E12", "E18", "E19", "E22"} {
 		if !ids[want] {
 			t.Fatalf("missing experiment %s", want)
 		}
@@ -199,6 +199,29 @@ func TestExperimentShapes(t *testing.T) {
 				t.Fatalf("E1 %s: non-monotonic slowdown %v", row[0], row)
 			}
 			prev = v
+		}
+	}
+
+	// E22: graceful degradation keeps its order at every swept
+	// node-failure rate — Tahoe ≤ FirstTouch < NVM-only normalized
+	// makespan, failures included.
+	e, _ = ExperimentByID("E22")
+	tb, err = e.Run(ExpOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		cell := func(i int) float64 {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				t.Fatalf("E22: bad cell %q", row[i])
+			}
+			return v
+		}
+		ta, ft, nv := cell(2), cell(3), cell(4)
+		if !(ta <= ft && ft < nv) {
+			t.Fatalf("E22 rate %s: ordering violated: Tahoe %.3f, FirstTouch %.3f, NVM-only %.3f",
+				row[0], ta, ft, nv)
 		}
 	}
 }
